@@ -1,0 +1,520 @@
+package transparentedge
+
+// One benchmark per table and figure of the paper's evaluation, plus
+// ablation benches for the design decisions DESIGN.md calls out. Each
+// iteration runs a complete experiment on the virtual clock; the
+// reported custom metrics carry the *simulated* medians (sim-ms), which
+// are the reproduced quantities — wall-clock ns/op only measures the
+// emulator itself.
+//
+//	go test -bench=. -benchmem
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/c3lab/transparentedge/internal/catalog"
+	"github.com/c3lab/transparentedge/internal/cluster"
+	"github.com/c3lab/transparentedge/internal/core"
+	"github.com/c3lab/transparentedge/internal/testbed"
+	"github.com/c3lab/transparentedge/internal/trace"
+	"github.com/c3lab/transparentedge/internal/vclock"
+)
+
+// benchDeployments keeps per-iteration experiments small; the medians
+// are insensitive to the count (the paper uses 42).
+const benchDeployments = 6
+
+var benchServices = []string{"asm", "nginx", "resnet", "nginxpy"}
+
+var benchKinds = []struct {
+	name string
+	kind cluster.Kind
+}{
+	{"docker", cluster.Docker},
+	{"k8s", cluster.Kubernetes},
+}
+
+func simMS(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// BenchmarkTableI regenerates the service catalog table.
+func BenchmarkTableI(b *testing.B) {
+	var out string
+	for i := 0; i < b.N; i++ {
+		out = testbed.TableI().String()
+	}
+	if len(out) == 0 {
+		b.Fatal("empty table")
+	}
+}
+
+// BenchmarkFig09Workload regenerates the request distribution: 1708
+// requests to 42 services recovered from the synthesized capture.
+func BenchmarkFig09Workload(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := testbed.RunWorkload(trace.DefaultBigFlows())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Trace.TotalRequests() != 1708 || len(res.Trace.Counts) != 42 {
+			b.Fatalf("workload = %d requests / %d services", res.Trace.TotalRequests(), len(res.Trace.Counts))
+		}
+	}
+}
+
+// BenchmarkFig10DeploymentBurst regenerates the deployment distribution.
+func BenchmarkFig10DeploymentBurst(b *testing.B) {
+	burst := 0
+	for i := 0; i < b.N; i++ {
+		res, err := testbed.RunWorkload(trace.DefaultBigFlows())
+		if err != nil {
+			b.Fatal(err)
+		}
+		burst = 0
+		for _, n := range res.DeploymentsPerSec {
+			if n > burst {
+				burst = n
+			}
+		}
+	}
+	b.ReportMetric(float64(burst), "max-deploys/s")
+}
+
+// BenchmarkFig11ScaleUp regenerates the scale-up medians per service
+// and cluster kind.
+func BenchmarkFig11ScaleUp(b *testing.B) {
+	for _, key := range benchServices {
+		for _, k := range benchKinds {
+			b.Run(key+"/"+k.name, func(b *testing.B) {
+				var med time.Duration
+				for i := 0; i < b.N; i++ {
+					res, err := testbed.RunScaleUp(key, k.kind, benchDeployments, int64(i+1))
+					if err != nil {
+						b.Fatal(err)
+					}
+					if res.Errors > 0 {
+						b.Fatalf("%d deployment errors", res.Errors)
+					}
+					med = res.Totals.Median()
+				}
+				b.ReportMetric(simMS(med), "sim-ms-median")
+			})
+		}
+	}
+}
+
+// BenchmarkFig12CreateScaleUp regenerates the create+scale-up medians.
+func BenchmarkFig12CreateScaleUp(b *testing.B) {
+	for _, key := range benchServices {
+		for _, k := range benchKinds {
+			b.Run(key+"/"+k.name, func(b *testing.B) {
+				var med time.Duration
+				for i := 0; i < b.N; i++ {
+					res, err := testbed.RunCreateScaleUp(key, k.kind, benchDeployments, int64(i+1))
+					if err != nil {
+						b.Fatal(err)
+					}
+					med = res.Totals.Median()
+				}
+				b.ReportMetric(simMS(med), "sim-ms-median")
+			})
+		}
+	}
+}
+
+// BenchmarkFig13Pull regenerates the pull times from the WAN registries
+// vs the private registry.
+func BenchmarkFig13Pull(b *testing.B) {
+	for _, key := range benchServices {
+		for _, src := range []struct {
+			name    string
+			private bool
+		}{{"wan", false}, {"private", true}} {
+			b.Run(key+"/"+src.name, func(b *testing.B) {
+				var med time.Duration
+				for i := 0; i < b.N; i++ {
+					res, err := testbed.RunPull(key, src.private, 5, int64(i+1))
+					if err != nil {
+						b.Fatal(err)
+					}
+					med = res.Times.Median()
+				}
+				b.ReportMetric(simMS(med), "sim-ms-median")
+			})
+		}
+	}
+}
+
+// BenchmarkFig14Wait regenerates the wait-until-ready medians after
+// scale-up.
+func BenchmarkFig14Wait(b *testing.B) {
+	for _, key := range benchServices {
+		for _, k := range benchKinds {
+			b.Run(key+"/"+k.name, func(b *testing.B) {
+				var med time.Duration
+				for i := 0; i < b.N; i++ {
+					res, err := testbed.RunScaleUp(key, k.kind, benchDeployments, int64(i+1))
+					if err != nil {
+						b.Fatal(err)
+					}
+					med = res.Waits.Median()
+				}
+				b.ReportMetric(simMS(med), "sim-ms-median")
+			})
+		}
+	}
+}
+
+// BenchmarkFig15WaitCreate regenerates the wait-until-ready medians
+// after create+scale-up.
+func BenchmarkFig15WaitCreate(b *testing.B) {
+	for _, key := range benchServices {
+		for _, k := range benchKinds {
+			b.Run(key+"/"+k.name, func(b *testing.B) {
+				var med time.Duration
+				for i := 0; i < b.N; i++ {
+					res, err := testbed.RunCreateScaleUp(key, k.kind, benchDeployments, int64(i+1))
+					if err != nil {
+						b.Fatal(err)
+					}
+					med = res.Waits.Median()
+				}
+				b.ReportMetric(simMS(med), "sim-ms-median")
+			})
+		}
+	}
+}
+
+// BenchmarkFig16Warm regenerates the warm-path request medians.
+func BenchmarkFig16Warm(b *testing.B) {
+	for _, key := range benchServices {
+		for _, k := range benchKinds {
+			b.Run(key+"/"+k.name, func(b *testing.B) {
+				var med time.Duration
+				for i := 0; i < b.N; i++ {
+					res, err := testbed.RunWarm(key, k.kind, 20, int64(i+1))
+					if err != nil {
+						b.Fatal(err)
+					}
+					med = res.Totals.Median()
+				}
+				b.ReportMetric(simMS(med), "sim-ms-median")
+			})
+		}
+	}
+}
+
+// BenchmarkTransparentAccessOverhead measures the redirection mechanism
+// itself — the original 2019 paper's evaluation focus: direct path vs
+// installed flows vs FlowMemory hit vs full cold dispatch, all with the
+// instance already running.
+func BenchmarkTransparentAccessOverhead(b *testing.B) {
+	var res *testbed.AccessOverheadResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = testbed.RunAccessOverhead("asm", 10, int64(i+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(simMS(res.Direct.Median()), "sim-ms-direct")
+	b.ReportMetric(simMS(res.WarmFlow.Median()), "sim-ms-warm-flow")
+	b.ReportMetric(simMS(res.MemoryHit.Median()), "sim-ms-memory-hit")
+	b.ReportMetric(simMS(res.ColdDispatch.Median()), "sim-ms-cold-dispatch")
+}
+
+// BenchmarkTraceReplay runs a reduced end-to-end replay of the bigFlows
+// workload through the complete system.
+func BenchmarkTraceReplay(b *testing.B) {
+	cfg := trace.DefaultBigFlows()
+	cfg.HotServices = 8
+	cfg.TotalRequests = 320
+	var med, p99 time.Duration
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i + 1)
+		res, err := testbed.RunTraceReplay("nginx", cluster.Docker, cfg, cfg.Seed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		med, p99 = res.Totals.Median(), res.Totals.Percentile(99)
+	}
+	b.ReportMetric(simMS(med), "sim-ms-p50")
+	b.ReportMetric(simMS(p99), "sim-ms-p99")
+}
+
+// ablationScenario measures repeated requests from one client with the
+// switch flow expiring between them, so every request needs the
+// controller — isolating the FlowMemory's effect.
+func ablationScenario(b *testing.B, disableMemory bool) (mean time.Duration, scheduleCalls int64) {
+	clk := vclock.New()
+	clk.Run(func() {
+		tb, err := testbed.New(clk, testbed.Options{
+			WithDocker:        true,
+			SwitchFlowIdle:    time.Second,
+			MemoryIdle:        time.Hour,
+			DisableFlowMemory: disableMemory,
+			Seed:              1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		nginx, _ := catalog.ByKey("nginx")
+		h, err := tb.RegisterCatalogService(nginx, trace.ServiceAddr(0))
+		if err != nil {
+			b.Fatal(err)
+		}
+		tb.PrePull(h, "edge-docker")
+		if _, err := tb.Request(0, h); err != nil { // deploy once
+			b.Fatal(err)
+		}
+		var sum time.Duration
+		const reqs = 20
+		for i := 0; i < reqs; i++ {
+			clk.Sleep(3 * time.Second) // let the switch flow idle out
+			r, err := tb.Request(0, h)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sum += r.Total
+		}
+		mean = sum / reqs
+		scheduleCalls = tb.Controller.Stats().ScheduleCalls
+	})
+	return mean, scheduleCalls
+}
+
+// BenchmarkAblationFlowMemory quantifies design decision 1 of
+// DESIGN.md: with the FlowMemory, expired switch flows are reinstalled
+// without consulting the Scheduler.
+func BenchmarkAblationFlowMemory(b *testing.B) {
+	for _, mode := range []struct {
+		name    string
+		disable bool
+	}{{"on", false}, {"off", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			var mean time.Duration
+			var calls int64
+			for i := 0; i < b.N; i++ {
+				mean, calls = ablationScenario(b, mode.disable)
+			}
+			b.ReportMetric(simMS(mean), "sim-ms-mean")
+			b.ReportMetric(float64(calls), "schedule-calls")
+		})
+	}
+}
+
+// BenchmarkAblationWaitPolicy contrasts holding the first request
+// (waiting) against serving it from the cloud while deploying.
+func BenchmarkAblationWaitPolicy(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		wait core.WaitPolicy
+	}{{"wait", core.WaitAlways}, {"no-wait-cloud", core.WaitNever}} {
+		b.Run(mode.name, func(b *testing.B) {
+			var first time.Duration
+			for i := 0; i < b.N; i++ {
+				clk := vclock.New()
+				clk.Run(func() {
+					tb, err := testbed.New(clk, testbed.Options{WithDocker: true, Wait: mode.wait, Seed: int64(i + 1)})
+					if err != nil {
+						b.Fatal(err)
+					}
+					nginx, _ := catalog.ByKey("nginx")
+					h, err := tb.RegisterCatalogService(nginx, trace.ServiceAddr(0))
+					if err != nil {
+						b.Fatal(err)
+					}
+					tb.PrePull(h, "edge-docker")
+					r, err := tb.Request(0, h)
+					if err != nil {
+						b.Fatal(err)
+					}
+					first = r.Total
+				})
+			}
+			b.ReportMetric(simMS(first), "sim-ms-first-request")
+		})
+	}
+}
+
+// BenchmarkAblationProbeInterval sweeps the controller's port-probe
+// period: finer probing detects readiness earlier at the cost of more
+// probe traffic.
+func BenchmarkAblationProbeInterval(b *testing.B) {
+	for _, probe := range []time.Duration{10 * time.Millisecond, 100 * time.Millisecond, 500 * time.Millisecond} {
+		b.Run(fmt.Sprintf("%v", probe), func(b *testing.B) {
+			var med time.Duration
+			for i := 0; i < b.N; i++ {
+				var waits []time.Duration
+				clk := vclock.New()
+				clk.Run(func() {
+					tb, err := testbed.New(clk, testbed.Options{
+						WithDocker:    true,
+						ProbeInterval: probe,
+						Seed:          int64(i + 1),
+						OnDeploy: func(tr core.DeployTrace) {
+							waits = append(waits, tr.Wait)
+						},
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					nginx, _ := catalog.ByKey("nginx")
+					h, err := tb.RegisterCatalogService(nginx, trace.ServiceAddr(0))
+					if err != nil {
+						b.Fatal(err)
+					}
+					tb.PrePull(h, "edge-docker")
+					if _, err := tb.Request(0, h); err != nil {
+						b.Fatal(err)
+					}
+				})
+				if len(waits) > 0 {
+					med = waits[0]
+				}
+			}
+			b.ReportMetric(simMS(med), "sim-ms-wait")
+		})
+	}
+}
+
+// BenchmarkAblationHybrid contrasts the §VII hybrid (Docker first,
+// Kubernetes later) with a Kubernetes-only deployment for the first
+// request.
+func BenchmarkAblationHybrid(b *testing.B) {
+	for _, mode := range []struct {
+		name      string
+		scheduler string
+		docker    bool
+	}{{"hybrid", core.SchedulerHybrid, true}, {"k8s-only", "", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			var first time.Duration
+			for i := 0; i < b.N; i++ {
+				clk := vclock.New()
+				clk.Run(func() {
+					tb, err := testbed.New(clk, testbed.Options{
+						WithDocker:      mode.docker,
+						WithKube:        true,
+						GlobalScheduler: mode.scheduler,
+						Seed:            int64(i + 1),
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					nginx, _ := catalog.ByKey("nginx")
+					h, err := tb.RegisterCatalogService(nginx, trace.ServiceAddr(0))
+					if err != nil {
+						b.Fatal(err)
+					}
+					if mode.docker {
+						tb.PrePull(h, "edge-docker")
+					} else {
+						tb.PrePull(h, "edge-k8s")
+					}
+					r, err := tb.Request(0, h)
+					if err != nil {
+						b.Fatal(err)
+					}
+					first = r.Total
+				})
+			}
+			b.ReportMetric(simMS(first), "sim-ms-first-request")
+		})
+	}
+}
+
+// BenchmarkFutureWorkServerless evaluates the paper's future work
+// (§VIII): the same transparent-access pipeline deploying a serverless
+// (WebAssembly) variant of the service, against the container paths.
+// The module is fetched/compiled beforehand (the analogue of the cached
+// image in Figs. 11/12).
+func BenchmarkFutureWorkServerless(b *testing.B) {
+	for _, mode := range []string{"wasm", "docker", "k8s"} {
+		b.Run(mode, func(b *testing.B) {
+			var first time.Duration
+			for i := 0; i < b.N; i++ {
+				clk := vclock.New()
+				clk.Run(func() {
+					tb, err := testbed.New(clk, testbed.Options{
+						WithFaas:   mode == "wasm",
+						WithDocker: mode != "k8s",
+						WithKube:   mode == "k8s",
+						Seed:       int64(i + 1),
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					var svc catalog.Service
+					if mode == "wasm" {
+						svc, err = catalog.WasmService("nginx")
+					} else {
+						svc, err = catalog.ByKey("nginx")
+					}
+					if err != nil {
+						b.Fatal(err)
+					}
+					h, err := tb.RegisterCatalogService(svc, trace.ServiceAddr(0))
+					if err != nil {
+						b.Fatal(err)
+					}
+					target := map[string]string{"wasm": "edge-faas", "docker": "edge-docker", "k8s": "edge-k8s"}[mode]
+					if err := tb.PrePull(h, target); err != nil {
+						b.Fatal(err)
+					}
+					r, err := tb.Request(0, h)
+					if err != nil {
+						b.Fatal(err)
+					}
+					first = r.Total
+				})
+			}
+			b.ReportMetric(simMS(first), "sim-ms-first-request")
+		})
+	}
+}
+
+// BenchmarkAblationHierarchy quantifies the hierarchical fallback: with
+// a farther edge already serving, the first request skips the local
+// deployment wait entirely.
+func BenchmarkAblationHierarchy(b *testing.B) {
+	for _, mode := range []struct {
+		name    string
+		farEdge bool
+	}{{"flat-wait", false}, {"hierarchical-fallback", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			var first time.Duration
+			for i := 0; i < b.N; i++ {
+				clk := vclock.New()
+				clk.Run(func() {
+					tb, err := testbed.New(clk, testbed.Options{
+						WithDocker:  true,
+						WithFarEdge: mode.farEdge,
+						Seed:        int64(i + 1),
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					nginx, _ := catalog.ByKey("nginx")
+					h, err := tb.RegisterCatalogService(nginx, trace.ServiceAddr(0))
+					if err != nil {
+						b.Fatal(err)
+					}
+					tb.PrePull(h, "edge-docker")
+					if mode.farEdge {
+						tb.PrePull(h, "edge-far")
+						if _, err := tb.Controller.PreDeploy(h.Addr, "edge-far"); err != nil {
+							b.Fatal(err)
+						}
+					}
+					r, err := tb.Request(0, h)
+					if err != nil {
+						b.Fatal(err)
+					}
+					first = r.Total
+				})
+			}
+			b.ReportMetric(simMS(first), "sim-ms-first-request")
+		})
+	}
+}

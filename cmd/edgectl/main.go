@@ -1,0 +1,165 @@
+// Command edgectl walks through the transparent-edge system step by
+// step on a live emulated testbed: registration and annotation,
+// interception, on-demand deployment with and without waiting, flow
+// inspection, idle scale-down, and redeployment. It is the guided-tour
+// counterpart to edgesim's batch experiments.
+//
+//	edgectl                    # full walkthrough
+//	edgectl -scheduler hybrid  # with the §VII hybrid Global Scheduler
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"github.com/c3lab/transparentedge/internal/catalog"
+	"github.com/c3lab/transparentedge/internal/core"
+	"github.com/c3lab/transparentedge/internal/metrics"
+	"github.com/c3lab/transparentedge/internal/pcap"
+	"github.com/c3lab/transparentedge/internal/testbed"
+	"github.com/c3lab/transparentedge/internal/trace"
+	"github.com/c3lab/transparentedge/internal/vclock"
+)
+
+func main() {
+	scheduler := flag.String("scheduler", core.SchedulerProximity,
+		fmt.Sprintf("global scheduler %v", core.SchedulerNames()))
+	seed := flag.Int64("seed", 1, "simulation seed")
+	capture := flag.String("capture", "", "write all emulated traffic to this .pcap file")
+	flag.Parse()
+
+	clk := vclock.New()
+	clk.Run(func() {
+		step := stepper()
+
+		step("building the C³ testbed (Fig. 8)")
+		tb, err := testbed.New(clk, testbed.Options{
+			WithDocker:      true,
+			WithKube:        true,
+			WithFarEdge:     true,
+			GlobalScheduler: *scheduler,
+			SwitchFlowIdle:  5 * time.Second,
+			MemoryIdle:      20 * time.Second,
+			ScaleDownIdle:   true,
+			Seed:            *seed,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  clusters: edge-docker (1 ms), edge-k8s (1.2 ms), edge-far (8 ms), cloud (25 ms)\n")
+		fmt.Printf("  global scheduler: %s\n", *scheduler)
+
+		var liveCapture *pcap.LiveCapture
+		if *capture != "" {
+			f, err := os.Create(*capture)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			liveCapture = pcap.NewLiveCapture(f)
+			tb.Net.SetCapture(liveCapture.Tap)
+			defer func() {
+				fmt.Printf("\ncaptured %d packets to %s\n", liveCapture.Packets(), *capture)
+			}()
+		}
+
+		step("registering the four Table I services")
+		var handles []*testbed.ServiceHandle
+		for i, key := range []string{"asm", "nginx", "resnet", "nginxpy"} {
+			svc, _ := catalog.ByKey(key)
+			h, err := tb.RegisterCatalogService(svc, trace.ServiceAddr(i))
+			if err != nil {
+				log.Fatal(err)
+			}
+			handles = append(handles, h)
+			fmt.Printf("  %-8s → %s  (%s, %d layers)\n", key, h.Addr, h.Svc.Name, svc.TotalLayers())
+		}
+
+		step("switch state: one intercept rule per registered address")
+		for _, f := range tb.Switch.Flows() {
+			fmt.Printf("  prio=%-3d %-40s cookie=%d\n", f.Priority, f.Match.String(), f.Cookie)
+		}
+
+		step("pre-pulling images to the EGS (Pull phase)")
+		for _, h := range handles {
+			start := clk.Now()
+			if err := tb.PrePull(h, "edge-docker"); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %-8s pulled in %s\n", h.Catalog.Key, metrics.FmtMS(clk.Since(start)))
+		}
+
+		step("first requests: on-demand deployment with waiting")
+		for i, h := range handles {
+			res, err := tb.Request(i, h)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %-8s first request: %8s   (connect %s)\n",
+				h.Catalog.Key, metrics.FmtMS(res.Total), metrics.FmtMS(res.Connect))
+		}
+
+		step("second requests ride the installed flows")
+		for i, h := range handles {
+			res, err := tb.Request(i, h)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %-8s warm request:  %8s\n", h.Catalog.Key, metrics.FmtMS(res.Total))
+		}
+
+		step("flow table after redirects (per-client rewrite pairs)")
+		flows := tb.Switch.Flows()
+		shown := 0
+		for _, f := range flows {
+			if f.Priority > 10 && shown < 6 {
+				fmt.Printf("  prio=%-3d %-40s pkts=%d\n", f.Priority, f.Match.String(), f.Packets)
+				shown++
+			}
+		}
+		fmt.Printf("  (%d flows total; FlowMemory holds %d entries)\n",
+			len(flows), tb.Controller.FlowMemory().Len())
+
+		step("going idle: low switch timeouts expire, then memory, then scale-down")
+		clk.Sleep(90 * time.Second)
+		running := 0
+		for _, h := range handles {
+			running += len(tb.Docker.Instances(h.Svc.Name))
+		}
+		st := tb.Controller.Stats()
+		fmt.Printf("  instances still running: %d; scale-downs: %d; flow-removed msgs: %d\n",
+			running, st.ScaleDowns, st.FlowRemovedMsgs)
+
+		step("a returning client triggers redeployment on demand")
+		res, err := tb.Request(0, handles[1])
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  nginx after idle scale-down: %s (scale-up only — containers still created)\n",
+			metrics.FmtMS(res.Total))
+
+		step("controller statistics")
+		st = tb.Controller.Stats()
+		t := metrics.NewTable("", "counter", "value")
+		t.AddRow("packet-ins", fmt.Sprint(st.PacketIns))
+		t.AddRow("schedule calls", fmt.Sprint(st.ScheduleCalls))
+		t.AddRow("memory hits", fmt.Sprint(st.MemoryHits))
+		t.AddRow("deployments (waiting)", fmt.Sprint(st.DeploysWaiting))
+		t.AddRow("deployments (no wait)", fmt.Sprint(st.DeploysNoWait))
+		t.AddRow("cloud forwards", fmt.Sprint(st.CloudForwards))
+		t.AddRow("pulls / creates / scale-ups", fmt.Sprintf("%d / %d / %d", st.Pulls, st.Creates, st.ScaleUps))
+		t.AddRow("scale-downs", fmt.Sprint(st.ScaleDowns))
+		fmt.Println(t)
+	})
+}
+
+func stepper() func(string) {
+	n := 0
+	return func(title string) {
+		n++
+		fmt.Printf("\n[%d] %s\n", n, title)
+	}
+}

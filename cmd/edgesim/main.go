@@ -1,0 +1,261 @@
+// Command edgesim regenerates every table and figure of the paper's
+// evaluation on the emulated C³ testbed.
+//
+// Usage:
+//
+//	edgesim -exp all                 # everything
+//	edgesim -exp fig11 -n 42         # one figure, full 42 deployments
+//	edgesim -exp fig13 -service nginx
+//
+// Absolute numbers come from the calibrated timing model; the shape
+// (who wins, by what factor) is the reproduced result. See
+// EXPERIMENTS.md for the paper-vs-measured record.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/c3lab/transparentedge/internal/cluster"
+	"github.com/c3lab/transparentedge/internal/metrics"
+	"github.com/c3lab/transparentedge/internal/testbed"
+	"github.com/c3lab/transparentedge/internal/trace"
+)
+
+var allServices = []string{"asm", "nginx", "resnet", "nginxpy"}
+
+// emit renders one result table; -format csv swaps the renderer.
+var emit = func(t *metrics.Table) { fmt.Println(t) }
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: tableI|fig9|fig10|fig11|fig12|fig13|fig14|fig15|fig16|access|trace|all")
+	n := flag.Int("n", testbed.DefaultDeployments, "deployments per run (paper: 42)")
+	service := flag.String("service", "all", "service key: asm|nginx|resnet|nginxpy|all")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	warm := flag.Int("warm", testbed.DefaultWarmRequests, "warm requests for fig16")
+	format := flag.String("format", "table", "output format for tabular results: table|csv")
+	flag.Parse()
+	if *format == "csv" {
+		emit = func(t *metrics.Table) { fmt.Print(t.CSV()) }
+	}
+
+	services := allServices
+	if *service != "all" {
+		services = []string{*service}
+	}
+
+	run := func(name string, fn func() error) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "edgesim: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+
+	run("tableI", func() error {
+		emit(testbed.TableI())
+		return nil
+	})
+	run("fig9", func() error { return fig9(*seed) })
+	run("fig10", func() error { return fig10(*seed) })
+	run("fig11", func() error { return phases("Fig. 11 — total time (median) to scale up", services, *n, *seed, true) })
+	run("fig12", func() error {
+		return phases("Fig. 12 — total time (median) to create + scale up", services, *n, *seed, false)
+	})
+	run("fig13", func() error { return fig13(services, *seed) })
+	run("fig14", func() error {
+		return waits("Fig. 14 — wait time (median) until ready after scale up", services, *n, *seed, true)
+	})
+	run("fig15", func() error {
+		return waits("Fig. 15 — wait time (median) until ready after create + scale up", services, *n, *seed, false)
+	})
+	run("fig16", func() error { return fig16(services, *warm, *seed) })
+	run("access", func() error { return accessOverhead(*seed) })
+	run("trace", func() error { return traceReplay(*seed) })
+}
+
+// accessOverhead reports the cost of the transparent-access mechanism
+// itself — the evaluation focus of the original 2019 paper.
+func accessOverhead(seed int64) error {
+	res, err := testbed.RunAccessOverhead("asm", 20, seed)
+	if err != nil {
+		return err
+	}
+	t := metrics.NewTable("Transparent access overhead (asm, instance running; median)",
+		"path", "time_total", "what it pays")
+	t.AddRow("direct to instance", metrics.FmtMS(res.Direct.Median()), "baseline, no SDN")
+	t.AddRow("installed flows", metrics.FmtMS(res.WarmFlow.Median()), "line-rate rewriting only")
+	t.AddRow("FlowMemory hit", metrics.FmtMS(res.MemoryHit.Median()), "packet-in, no scheduling")
+	t.AddRow("cold dispatch", metrics.FmtMS(res.ColdDispatch.Median()), "packet-in + scheduler")
+	emit(t)
+	return nil
+}
+
+func fig9(seed int64) error {
+	cfg := trace.DefaultBigFlows()
+	cfg.Seed = seed
+	res, err := testbed.RunWorkload(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Fig. 9 — %d requests to %d edge services over %v (recovered from synthetic bigFlows pcap)\n",
+		res.Trace.TotalRequests(), len(res.Trace.Counts), cfg.Duration)
+	fmt.Println(metrics.Histogram("requests per second", res.RequestsPerSec, time.Second, 30))
+	return nil
+}
+
+func fig10(seed int64) error {
+	cfg := trace.DefaultBigFlows()
+	cfg.Seed = seed
+	res, err := testbed.RunWorkload(cfg)
+	if err != nil {
+		return err
+	}
+	max := 0
+	for _, v := range res.DeploymentsPerSec {
+		if v > max {
+			max = v
+		}
+	}
+	fmt.Printf("Fig. 10 — %d edge service deployments over %v (burst: up to %d per second)\n",
+		len(res.Trace.Counts), cfg.Duration, max)
+	fmt.Println(metrics.Histogram("deployments per second", res.DeploymentsPerSec, time.Second, 30))
+	return nil
+}
+
+func phases(title string, services []string, n int, seed int64, scaleOnly bool) error {
+	t := metrics.NewTable(title, "Service", "Docker", "K8s", "paper says")
+	for _, key := range services {
+		row := []string{key}
+		for _, kind := range []cluster.Kind{cluster.Docker, cluster.Kubernetes} {
+			var res *testbed.PhaseResult
+			var err error
+			if scaleOnly {
+				res, err = testbed.RunScaleUp(key, kind, n, seed)
+			} else {
+				res, err = testbed.RunCreateScaleUp(key, kind, n, seed)
+			}
+			if err != nil {
+				return err
+			}
+			if res.Errors > 0 {
+				return fmt.Errorf("%s on %s: %d failed deployments", key, kind, res.Errors)
+			}
+			row = append(row, metrics.FmtMS(res.Totals.Median()))
+		}
+		row = append(row, paperPhaseNote(key, scaleOnly))
+		t.AddRow(row...)
+	}
+	emit(t)
+	return nil
+}
+
+func paperPhaseNote(key string, scaleOnly bool) string {
+	base := map[string]string{
+		"asm":     "Docker <1 s, K8s ≈3 s",
+		"nginx":   "Docker <1 s, K8s ≈3 s",
+		"resnet":  "slowest; wait >¼ of total",
+		"nginxpy": "two containers, Docker <1 s",
+	}[key]
+	if !scaleOnly && key != "resnet" {
+		base += "; create adds ≈100 ms"
+	}
+	return base
+}
+
+func fig13(services []string, seed int64) error {
+	t := metrics.NewTable("Fig. 13 — total time to pull the service images onto the EGS",
+		"Service", "Docker Hub / GCR", "private registry", "saved")
+	for _, key := range services {
+		pub, err := testbed.RunPull(key, false, 10, seed)
+		if err != nil {
+			return err
+		}
+		priv, err := testbed.RunPull(key, true, 10, seed)
+		if err != nil {
+			return err
+		}
+		t.AddRow(key,
+			fmt.Sprintf("%s (%s)", metrics.FmtMS(pub.Times.Median()), pub.Registry),
+			metrics.FmtMS(priv.Times.Median()),
+			metrics.FmtMS(pub.Times.Median()-priv.Times.Median()))
+	}
+	emit(t)
+	fmt.Println("paper: private registry improves pulls by about 1.5–2 s")
+	return nil
+}
+
+func waits(title string, services []string, n int, seed int64, scaleOnly bool) error {
+	t := metrics.NewTable(title, "Service", "Docker", "K8s")
+	for _, key := range services {
+		row := []string{key}
+		for _, kind := range []cluster.Kind{cluster.Docker, cluster.Kubernetes} {
+			var res *testbed.PhaseResult
+			var err error
+			if scaleOnly {
+				res, err = testbed.RunScaleUp(key, kind, n, seed)
+			} else {
+				res, err = testbed.RunCreateScaleUp(key, kind, n, seed)
+			}
+			if err != nil {
+				return err
+			}
+			row = append(row, metrics.FmtMS(res.Waits.Median()))
+		}
+		t.AddRow(row...)
+	}
+	emit(t)
+	return nil
+}
+
+func fig16(services []string, warm int, seed int64) error {
+	t := metrics.NewTable("Fig. 16 — total time (median) for requests with the instance already running",
+		"Service", "Docker", "K8s", "paper says")
+	notes := map[string]string{
+		"asm":     "≈1 ms",
+		"nginx":   "≈1 ms",
+		"resnet":  "significantly longer (inference)",
+		"nginxpy": "≈1 ms",
+	}
+	for _, key := range services {
+		row := []string{key}
+		for _, kind := range []cluster.Kind{cluster.Docker, cluster.Kubernetes} {
+			res, err := testbed.RunWarm(key, kind, warm, seed)
+			if err != nil {
+				return err
+			}
+			row = append(row, metrics.FmtMS(res.Totals.Median()))
+		}
+		row = append(row, notes[key])
+		t.AddRow(row...)
+	}
+	emit(t)
+	return nil
+}
+
+func traceReplay(seed int64) error {
+	cfg := trace.DefaultBigFlows()
+	cfg.Seed = seed
+	res, err := testbed.RunTraceReplay("nginx", cluster.Docker, cfg, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Full trace replay — %d requests to %d nginx services on Docker\n",
+		res.Totals.Len(), cfg.HotServices)
+	t := metrics.NewTable("", "metric", "value")
+	t.AddRow("median", metrics.FmtMS(res.Totals.Median()))
+	t.AddRow("p90", metrics.FmtMS(res.Totals.Percentile(90)))
+	t.AddRow("p99", metrics.FmtMS(res.Totals.Percentile(99)))
+	t.AddRow("max", metrics.FmtMS(res.Totals.Max()))
+	t.AddRow("packet-ins", fmt.Sprintf("%d", res.Stats.PacketIns))
+	t.AddRow("deployments (waiting)", fmt.Sprintf("%d", res.Stats.DeploysWaiting))
+	t.AddRow("scale-ups", fmt.Sprintf("%d", res.Stats.ScaleUps))
+	t.AddRow("memory hits", fmt.Sprintf("%d", res.Stats.MemoryHits))
+	emit(t)
+	return nil
+}

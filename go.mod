@@ -1,0 +1,3 @@
+module github.com/c3lab/transparentedge
+
+go 1.22

@@ -1,0 +1,149 @@
+package containerd
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/c3lab/transparentedge/internal/registry"
+	"github.com/c3lab/transparentedge/internal/vclock"
+)
+
+// TestLifecycleStateMachineProperty drives one container with random
+// operation sequences and checks every transition against the legal
+// state machine: Created → Running ↔ Stopped → Removed.
+func TestLifecycleStateMachineProperty(t *testing.T) {
+	f := func(ops []uint8) bool {
+		if len(ops) > 24 {
+			ops = ops[:24]
+		}
+		ok := true
+		e := newEnv()
+		e.clk.Run(func() {
+			e.pulled("img", registry.MiB)
+			c, err := e.rt.Create(Spec{
+				Name:       "c",
+				Image:      "img",
+				Port:       80,
+				ReadyDelay: 5 * time.Millisecond,
+				Handler:    echoHandler(),
+			})
+			if err != nil {
+				ok = false
+				return
+			}
+			state := StateCreated
+			for _, op := range ops {
+				switch op % 3 {
+				case 0: // Start
+					err := c.Start()
+					legal := state == StateCreated || state == StateStopped
+					if (err == nil) != legal {
+						ok = false
+						return
+					}
+					if legal {
+						state = StateRunning
+					}
+				case 1: // Stop
+					err := c.Stop()
+					// Stop succeeds from Running and is a no-op from
+					// Stopped; it fails from Created/Removed.
+					legal := state == StateRunning || state == StateStopped
+					if (err == nil) != legal {
+						ok = false
+						return
+					}
+					if state == StateRunning {
+						state = StateStopped
+					}
+				case 2: // Remove (always succeeds, idempotent)
+					if err := c.Remove(); err != nil {
+						ok = false
+						return
+					}
+					state = StateRemoved
+				}
+				if state != StateRemoved && c.State() != state {
+					ok = false
+					return
+				}
+				if state == StateRemoved {
+					// After removal the runtime must not know the name.
+					if e.rt.Get("c") != nil {
+						ok = false
+					}
+					return
+				}
+				// Port invariant: the host port is open only while
+				// running and ready.
+				if state != StateRunning && e.rt.Host().Listening(c.HostPort()) {
+					ok = false
+					return
+				}
+				e.clk.Sleep(10 * time.Millisecond)
+				if state == StateRunning && !c.Ready() {
+					ok = false
+					return
+				}
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPullIdempotentProperty: pulling any subset sequence of catalog-like
+// images in any order yields the same store contents.
+func TestPullIdempotentProperty(t *testing.T) {
+	f := func(order []uint8) bool {
+		if len(order) > 20 {
+			order = order[:20]
+		}
+		clk := vclock.New()
+		ok := true
+		clk.Run(func() {
+			reg := registry.New(clk, 1, registry.Private())
+			imgs := []registry.Image{
+				{Ref: "a", Layers: []registry.Layer{{Digest: "sha256:base", Size: 10}, {Digest: "sha256:a", Size: 1}}},
+				{Ref: "b", Layers: []registry.Layer{{Digest: "sha256:base", Size: 10}, {Digest: "sha256:b", Size: 2}}},
+				{Ref: "c", Layers: []registry.Layer{{Digest: "sha256:c", Size: 3}}},
+			}
+			for _, im := range imgs {
+				reg.Push(im)
+			}
+			st := NewStore(clk, 2, DefaultTiming())
+			pulled := map[string]bool{}
+			for _, o := range order {
+				ref := imgs[int(o)%3].Ref
+				if _, err := st.Pull(reg, ref); err != nil {
+					ok = false
+					return
+				}
+				pulled[ref] = true
+			}
+			var want int64
+			seen := map[registry.Digest]bool{}
+			for _, im := range imgs {
+				if !pulled[im.Ref] {
+					continue
+				}
+				for _, l := range im.Layers {
+					if !seen[l.Digest] {
+						seen[l.Digest] = true
+						want += l.Size
+					}
+				}
+			}
+			if st.CachedBytes() != want {
+				ok = false
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,48 @@
+package containerd
+
+import "sync"
+
+// Volume emulates a host-path volume shared between containers. The
+// Nginx+Py service of the evaluation uses one: the Python sidecar writes
+// index.html once per second and the Nginx container serves it.
+type Volume struct {
+	// Name identifies the volume in specs and inspection output.
+	Name string
+
+	mu    sync.Mutex
+	files map[string][]byte
+}
+
+// NewVolume returns an empty named volume.
+func NewVolume(name string) *Volume {
+	return &Volume{Name: name, files: make(map[string][]byte)}
+}
+
+// Write stores the contents of one file.
+func (v *Volume) Write(path string, data []byte) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.files[path] = append([]byte(nil), data...)
+}
+
+// Read returns a copy of one file's contents.
+func (v *Volume) Read(path string) ([]byte, bool) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	data, ok := v.files[path]
+	if !ok {
+		return nil, false
+	}
+	return append([]byte(nil), data...), true
+}
+
+// Files returns the stored file names.
+func (v *Volume) Files() []string {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	out := make([]string, 0, len(v.files))
+	for name := range v.files {
+		out = append(out, name)
+	}
+	return out
+}

@@ -1,0 +1,464 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/c3lab/transparentedge/internal/cluster"
+	"github.com/c3lab/transparentedge/internal/netem"
+	"github.com/c3lab/transparentedge/internal/openflow"
+	"github.com/c3lab/transparentedge/internal/vclock"
+)
+
+// Flow priorities: per-client redirect rules must shadow the punt rule.
+const (
+	puntPriority     = 10
+	redirectPriority = 20
+)
+
+// Config assembles a Controller.
+type Config struct {
+	// Host is the controller's network attachment, used for port
+	// probing of new instances.
+	Host *netem.Host
+	// Switch is the primary ingress switch (gNB) the controller
+	// programs.
+	Switch *openflow.Switch
+	// ExtraSwitches are additional ingress switches (further gNBs) —
+	// "the network (i.e., an SDN switch) intercepts any request":
+	// the controller manages all of them, installs punt rules
+	// everywhere, and programs redirects on whichever switch a request
+	// entered through.
+	ExtraSwitches []*openflow.Switch
+	// ZoneLatency overrides cluster proximity per ingress zone:
+	// switch name → cluster name → latency from that gNB. Clusters
+	// without an entry keep their Location latency. This is what makes
+	// the deployment *distributed*: clients behind different gNBs get
+	// different optimal edges.
+	ZoneLatency map[string]map[string]time.Duration
+	// Clusters lists the managed edge clusters plus the cloud.
+	Clusters []cluster.Cluster
+	// GlobalScheduler names the registered Global Scheduler
+	// implementation to load (default: proximity).
+	GlobalScheduler string
+	// SchedulerConfig parameterizes the Global Scheduler.
+	SchedulerConfig SchedulerConfig
+	// LocalSchedulers maps cluster name → custom Local Scheduler name;
+	// the annotation engine writes it into schedulerName.
+	LocalSchedulers map[string]string
+	// ProbeInterval is the polling period for instance readiness
+	// ("the controller continuously tests if the respective port is
+	// open").
+	ProbeInterval time.Duration
+	// DeployTimeout bounds one on-demand deployment end to end.
+	DeployTimeout time.Duration
+	// SwitchFlowIdle is the (low) idle timeout of installed switch
+	// flows.
+	SwitchFlowIdle time.Duration
+	// MemoryIdle is the (higher) idle timeout of memorized flows.
+	MemoryIdle time.Duration
+	// OnDeploy, when set, receives per-phase timings of every
+	// deployment the controller performs — the instrumentation behind
+	// the Fig. 12/14/15 measurements.
+	OnDeploy func(DeployTrace)
+	// ScaleDownIdle scales a service down when its last memorized flow
+	// expires.
+	ScaleDownIdle bool
+	// RemoveOnIdle additionally removes the service objects (Remove
+	// phase) after scale-down.
+	RemoveOnIdle bool
+	// DisableFlowMemory turns the FlowMemory off (ablation): every
+	// packet-in goes through the full dispatch pipeline.
+	DisableFlowMemory bool
+	// ProactiveDeploy deploys every service to its optimal edge at
+	// registration time — the "deployed proactively" arrow of Fig. 1.
+	// The first request then finds a running instance immediately.
+	ProactiveDeploy bool
+	// Seed feeds deterministic jitter.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	out := c
+	if out.GlobalScheduler == "" {
+		out.GlobalScheduler = SchedulerProximity
+	}
+	if out.ProbeInterval <= 0 {
+		out.ProbeInterval = 100 * time.Millisecond
+	}
+	if out.DeployTimeout <= 0 {
+		out.DeployTimeout = 2 * time.Minute
+	}
+	if out.SwitchFlowIdle <= 0 {
+		out.SwitchFlowIdle = 10 * time.Second
+	}
+	if out.MemoryIdle <= 0 {
+		out.MemoryIdle = 60 * time.Second
+	}
+	return out
+}
+
+// Service is one registered edge service: its public address, its
+// (annotated) definition, and bookkeeping.
+type Service struct {
+	// Name is the worldwide-unique name assigned at registration.
+	Name string
+	// Addr is the registered public address (IP + port) clients use.
+	Addr netem.HostPort
+	// Definition is the developer-provided YAML.
+	Definition string
+	// Annotated holds the completed definitions and the derived spec.
+	Annotated *Annotated
+	// cookie tags this service's switch flows.
+	cookie uint64
+}
+
+// DeployTrace reports the duration of each deployment phase (Fig. 4)
+// of one on-demand deployment.
+type DeployTrace struct {
+	Service string
+	Cluster string
+	// Pull is the image pull time; zero when cached.
+	Pull time.Duration
+	// Create is the Create-phase duration; zero when already created.
+	Create time.Duration
+	// ScaleUp is the duration of the scale-up request.
+	ScaleUp time.Duration
+	// Wait is the time from the accepted scale-up until the instance's
+	// port answered (Figs. 14/15).
+	Wait time.Duration
+	// Total is the end-to-end deployment duration.
+	Total time.Duration
+	// Err reports a failed deployment.
+	Err error
+}
+
+// Stats counts controller activity; all fields are monotonic.
+type Stats struct {
+	PacketIns       int64
+	MemoryHits      int64
+	ScheduleCalls   int64
+	DeploysWaiting  int64
+	DeploysNoWait   int64
+	CloudForwards   int64
+	DeployFailures  int64
+	Pulls           int64
+	Creates         int64
+	ScaleUps        int64
+	ScaleDowns      int64
+	Removes         int64
+	FlowsInstalled  int64
+	FlowRemovedMsgs int64
+}
+
+// Controller is the SDN controller: the paper's contribution.
+type Controller struct {
+	cfg   Config
+	clk   vclock.Clock
+	rng   *vclock.Rand
+	sched GlobalScheduler
+	fm    *FlowMemory
+
+	switches []*openflow.Switch
+	conns    []switchConn
+
+	mu          sync.Mutex
+	services    map[netem.HostPort]*Service
+	byCookie    map[uint64]*Service
+	byName      map[string]*Service
+	nextCookie  uint64
+	deployments map[deployKey]*deployState
+	pending     map[flowKey]bool
+	clients     map[netem.IP]ClientLocation
+	stats       Stats
+	started     bool
+}
+
+// switchConn pairs one managed switch with its control channels.
+type switchConn struct {
+	sw        *openflow.Switch
+	packetIns *vclock.Mailbox[openflow.PacketIn]
+	removals  *vclock.Mailbox[openflow.FlowRemoved]
+}
+
+// ClientLocation is the Dispatcher's record of where a client was last
+// seen — "this component also tracks the clients' current location"
+// (§IV-B).
+type ClientLocation struct {
+	// Switch names the ingress switch (gNB) the client is behind.
+	Switch string
+	// InPort is the switch port the client's traffic entered on.
+	InPort int
+	// LastSeen is when the client last caused a packet-in.
+	LastSeen time.Time
+}
+
+type deployKey struct {
+	service string
+	cluster string
+}
+
+type deployState struct {
+	done *vclock.Gate
+	inst cluster.Instance
+	err  error
+	// deployedByUs marks deployments this controller triggered, the
+	// ones idle scale-down may undo.
+	deployedByUs bool
+	// scaledDown marks instances we took down again; a new deployment
+	// re-runs the Scale Up phase.
+	scaledDown bool
+}
+
+// New builds a controller. The switch is connected immediately; call
+// Start to begin processing.
+func New(clk vclock.Clock, cfg Config) (*Controller, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Host == nil || cfg.Switch == nil {
+		return nil, fmt.Errorf("core: controller needs a host and a switch")
+	}
+	if len(cfg.Clusters) == 0 {
+		return nil, fmt.Errorf("core: controller needs at least one cluster")
+	}
+	sched, err := LoadScheduler(cfg.GlobalScheduler, cfg.SchedulerConfig)
+	if err != nil {
+		return nil, err
+	}
+	c := &Controller{
+		cfg:         cfg,
+		clk:         clk,
+		rng:         vclock.NewRand(cfg.Seed),
+		sched:       sched,
+		fm:          NewFlowMemory(clk, cfg.MemoryIdle),
+		services:    make(map[netem.HostPort]*Service),
+		byCookie:    make(map[uint64]*Service),
+		byName:      make(map[string]*Service),
+		deployments: make(map[deployKey]*deployState),
+		pending:     make(map[flowKey]bool),
+		clients:     make(map[netem.IP]ClientLocation),
+	}
+	c.switches = append([]*openflow.Switch{cfg.Switch}, cfg.ExtraSwitches...)
+	for _, sw := range c.switches {
+		pins, rems := sw.Connect()
+		c.conns = append(c.conns, switchConn{sw: sw, packetIns: pins, removals: rems})
+	}
+	if cfg.ScaleDownIdle {
+		c.fm.OnServiceIdle = c.onServiceIdle
+	}
+	return c, nil
+}
+
+// ClientLocation returns where a client was last seen, if ever.
+func (c *Controller) ClientLocation(ip netem.IP) (ClientLocation, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	loc, ok := c.clients[ip]
+	return loc, ok
+}
+
+// trackClient records the ingress location of a packet-in.
+func (c *Controller) trackClient(ip netem.IP, sw *openflow.Switch, inPort int) {
+	c.mu.Lock()
+	c.clients[ip] = ClientLocation{Switch: sw.DeviceName(), InPort: inPort, LastSeen: c.clk.Now()}
+	c.mu.Unlock()
+}
+
+// FlowMemory exposes the controller's flow memory (for inspection).
+func (c *Controller) FlowMemory() *FlowMemory { return c.fm }
+
+// Stats returns a snapshot of the controller counters.
+func (c *Controller) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// RegisterService registers a service by its public address and lean
+// YAML definition: the definition is annotated, the derived spec
+// stored, and the intercept (punt) rule installed in the switch.
+func (c *Controller) RegisterService(addr netem.HostPort, definition string) (*Service, error) {
+	annotated, err := Annotate(definition, AnnotateOptions{
+		UniqueName:  UniqueNameFor(addr),
+		ServicePort: addr.Port,
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	if _, dup := c.services[addr]; dup {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("core: service %s already registered", addr)
+	}
+	c.nextCookie++
+	svc := &Service{
+		Name:       annotated.Spec.Name,
+		Addr:       addr,
+		Definition: definition,
+		Annotated:  annotated,
+		cookie:     c.nextCookie,
+	}
+	c.services[addr] = svc
+	c.byCookie[svc.cookie] = svc
+	c.byName[svc.Name] = svc
+	c.mu.Unlock()
+
+	// Intercept requests for the registered address (Fig. 2) on every
+	// managed ingress switch.
+	for _, sw := range c.switches {
+		sw.InstallFlow(openflow.FlowSpec{
+			Priority: puntPriority,
+			Match:    openflow.Match{DstIP: addr.IP, DstPort: addr.Port},
+			Actions:  []openflow.Action{openflow.OutputController{}},
+			Cookie:   svc.cookie,
+		})
+	}
+	if c.cfg.ProactiveDeploy {
+		// Proactive deployment (Fig. 1): bring the service up at the
+		// nearest hosting cluster in the background.
+		spec := svc.Annotated.Spec
+		var best cluster.Cluster
+		for _, cl := range c.cfg.Clusters {
+			if !cl.CanHost(c.specForCluster(spec, cl)) {
+				continue
+			}
+			if best == nil || cl.Location().Latency < best.Location().Latency {
+				best = cl
+			}
+		}
+		if best != nil {
+			target := best
+			c.clk.Go(func() {
+				if _, err := c.deploy(svc, target); err != nil {
+					c.count(func(s *Stats) { s.DeployFailures++ })
+				}
+			})
+		}
+	}
+	return svc, nil
+}
+
+// specForCluster applies the per-cluster Local Scheduler to a spec.
+func (c *Controller) specForCluster(spec cluster.Spec, cl cluster.Cluster) cluster.Spec {
+	if name, ok := c.cfg.LocalSchedulers[cl.Name()]; ok {
+		spec.SchedulerName = name
+	}
+	return spec
+}
+
+// ServiceByAddr returns the service registered at addr.
+func (c *Controller) ServiceByAddr(addr netem.HostPort) (*Service, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	svc, ok := c.services[addr]
+	return svc, ok
+}
+
+// ServiceByName returns the service with the given unique name.
+func (c *Controller) ServiceByName(name string) (*Service, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	svc, ok := c.byName[name]
+	return svc, ok
+}
+
+// Start launches the packet-in and flow-removed processing loops.
+func (c *Controller) Start() {
+	c.mu.Lock()
+	if c.started {
+		c.mu.Unlock()
+		return
+	}
+	c.started = true
+	c.mu.Unlock()
+	for _, conn := range c.conns {
+		conn := conn
+		c.clk.Go(func() {
+			for {
+				pin, ok := conn.packetIns.Recv()
+				if !ok {
+					return
+				}
+				c.clk.Go(func() { c.handlePacketIn(conn.sw, pin) })
+			}
+		})
+		c.clk.Go(func() {
+			for {
+				msg, ok := conn.removals.Recv()
+				if !ok {
+					return
+				}
+				c.handleFlowRemoved(msg)
+			}
+		})
+	}
+}
+
+// count mutates one stats counter under the lock.
+func (c *Controller) count(f func(*Stats)) {
+	c.mu.Lock()
+	f(&c.stats)
+	c.mu.Unlock()
+}
+
+// handleFlowRemoved refreshes the flow memory when switch flows expire:
+// the removal implies traffic existed until a moment ago, so the
+// memorized mapping stays warm a while longer.
+func (c *Controller) handleFlowRemoved(msg openflow.FlowRemoved) {
+	c.count(func(s *Stats) { s.FlowRemovedMsgs++ })
+	c.mu.Lock()
+	svc, ok := c.byCookie[msg.Cookie]
+	c.mu.Unlock()
+	if !ok || !msg.IdleTimeout {
+		return
+	}
+	var client netem.IP
+	if msg.Match.DstIP == svc.Addr.IP && msg.Match.DstPort == svc.Addr.Port {
+		client = msg.Match.SrcIP // forward rule
+	} else {
+		client = msg.Match.DstIP // reverse rule
+	}
+	c.fm.Touch(client, svc.Addr)
+}
+
+// onServiceIdle is the scale-down hook: the last memorized flow of the
+// service expired.
+func (c *Controller) onServiceIdle(svcName string) {
+	c.mu.Lock()
+	svc, ok := c.byName[svcName]
+	if !ok {
+		c.mu.Unlock()
+		return
+	}
+	var targets []struct {
+		cl    cluster.Cluster
+		state *deployState
+	}
+	for _, cl := range c.cfg.Clusters {
+		key := deployKey{service: svcName, cluster: cl.Name()}
+		if st, ok := c.deployments[key]; ok && st.deployedByUs && !st.scaledDown && st.done.IsOpen() && st.err == nil {
+			st.scaledDown = true
+			targets = append(targets, struct {
+				cl    cluster.Cluster
+				state *deployState
+			}{cl, st})
+		}
+	}
+	c.mu.Unlock()
+
+	for _, t := range targets {
+		if err := t.cl.ScaleDown(svcName); err == nil {
+			c.count(func(s *Stats) { s.ScaleDowns++ })
+		}
+		if c.cfg.RemoveOnIdle {
+			if err := t.cl.Remove(svcName); err == nil {
+				c.count(func(s *Stats) { s.Removes++ })
+			}
+		}
+		// Forget the deployment so the next request redeploys.
+		c.mu.Lock()
+		delete(c.deployments, deployKey{service: svcName, cluster: t.cl.Name()})
+		c.mu.Unlock()
+	}
+	_ = svc
+}

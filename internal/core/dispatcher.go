@@ -1,0 +1,314 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/c3lab/transparentedge/internal/cluster"
+	"github.com/c3lab/transparentedge/internal/netem"
+	"github.com/c3lab/transparentedge/internal/openflow"
+	"github.com/c3lab/transparentedge/internal/vclock"
+)
+
+// handlePacketIn is the dispatching algorithm of Fig. 7: flow memory
+// first, then candidate gathering, the Global Scheduler's FAST/BEST
+// decision, on-demand deployment of whichever choices need it, flow
+// installation, and finally the release of the held packet. sw is the
+// ingress switch the packet entered through.
+func (c *Controller) handlePacketIn(sw *openflow.Switch, pin openflow.PacketIn) {
+	c.count(func(s *Stats) { s.PacketIns++ })
+	svc, ok := c.ServiceByAddr(pin.Pkt.Dst)
+	if !ok {
+		// Not a registered service: behave like a plain switch.
+		sw.PacketOut(pin.Pkt, pin.InPort, []openflow.Action{openflow.OutputNormal{}})
+		return
+	}
+	client := pin.Pkt.Src.IP
+	c.trackClient(client, sw, pin.InPort)
+	key := flowKey{client: client, service: svc.Addr}
+
+	// Deduplicate concurrent packet-ins (e.g. SYN retransmissions while
+	// a deployment holds the first request).
+	c.mu.Lock()
+	if c.pending[key] {
+		c.mu.Unlock()
+		return // the original held packet will be released later
+	}
+	c.pending[key] = true
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		delete(c.pending, key)
+		c.mu.Unlock()
+	}()
+
+	// Fast path: memorized flow — reinstall without calling the
+	// Scheduler.
+	if !c.cfg.DisableFlowMemory {
+		if inst, ok := c.fm.Lookup(client, svc.Addr); ok {
+			c.count(func(s *Stats) { s.MemoryHits++ })
+			c.installRedirect(sw, client, svc, inst)
+			sw.PacketOut(pin.Pkt, pin.InPort, nil)
+			return
+		}
+	}
+
+	inst, ok := c.dispatch(sw, svc, client)
+	if !ok {
+		// Deployment failed everywhere: let the cloud origin serve.
+		inst = cluster.Instance{Addr: svc.Addr, Cluster: "origin"}
+	}
+	if !c.cfg.DisableFlowMemory {
+		c.fm.Remember(client, svc.Addr, svc.Name, inst)
+	}
+	c.installRedirect(sw, client, svc, inst)
+	sw.PacketOut(pin.Pkt, pin.InPort, nil)
+}
+
+// dispatch gathers candidates, consults the Global Scheduler, and
+// performs whatever deployments the FAST/BEST decision requires. It
+// returns the instance that serves the current request. Proximity is
+// evaluated from the client's ingress zone (the switch the packet
+// entered through), so clients behind different gNBs get different
+// optimal edges.
+func (c *Controller) dispatch(sw *openflow.Switch, svc *Service, client netem.IP) (cluster.Instance, bool) {
+	c.count(func(s *Stats) { s.ScheduleCalls++ })
+	zone := c.cfg.ZoneLatency[sw.DeviceName()]
+	candidates := make([]Candidate, 0, len(c.cfg.Clusters))
+	for _, cl := range c.cfg.Clusters {
+		spec := c.specFor(svc, cl)
+		latency := cl.Location().Latency
+		if override, ok := zone[cl.Name()]; ok {
+			latency = override
+		}
+		candidates = append(candidates, Candidate{
+			Cluster:   cl,
+			Latency:   latency,
+			Instances: cl.Instances(svc.Name),
+			Created:   cl.Created(svc.Name),
+			HasImages: cl.HasImages(spec),
+			CanHost:   cl.CanHost(spec),
+		})
+	}
+	decision := c.sched.Schedule(svc, client, candidates)
+
+	// BEST ≠ FAST: deploy the optimal edge in the background and switch
+	// future requests over once it is running (Fig. 3).
+	if decision.Best != nil && decision.Best != decision.Fast {
+		c.count(func(s *Stats) { s.DeploysNoWait++ })
+		best := decision.Best
+		c.clk.Go(func() {
+			inst, err := c.deploy(svc, best)
+			if err != nil {
+				c.count(func(s *Stats) { s.DeployFailures++ })
+				return
+			}
+			// Future requests go to the optimal location: drop stale
+			// memory so the next packet-in re-schedules. Active switch
+			// flows drain via their (low) idle timeout.
+			c.fm.ForgetService(svc.Name, inst)
+		})
+	}
+
+	switch {
+	case decision.FastInstance != nil:
+		return *decision.FastInstance, true
+	case decision.Fast != nil:
+		// On-demand deployment with waiting: the client's request stays
+		// on hold until the new instance answers its port.
+		c.count(func(s *Stats) { s.DeploysWaiting++ })
+		inst, err := c.deploy(svc, decision.Fast)
+		if err != nil {
+			c.count(func(s *Stats) { s.DeployFailures++ })
+			return cluster.Instance{}, false
+		}
+		return inst, true
+	default:
+		// Forward toward the cloud.
+		c.count(func(s *Stats) { s.CloudForwards++ })
+		return cluster.Instance{Addr: svc.Addr, Cluster: "origin"}, true
+	}
+}
+
+// specFor derives the per-cluster spec: the annotation engine sets the
+// schedulerName configured for that particular edge cluster.
+func (c *Controller) specFor(svc *Service, cl cluster.Cluster) cluster.Spec {
+	spec := svc.Annotated.Spec
+	if name, ok := c.cfg.LocalSchedulers[cl.Name()]; ok {
+		spec.SchedulerName = name
+	}
+	return spec
+}
+
+// deploy runs the deployment phases (Fig. 4) for one service on one
+// cluster, coalescing concurrent requests, and waits until an instance
+// is ready (its port answers). A cached deployment whose instance has
+// meanwhile disappeared (crash, external scale-down) is detected and
+// redeployed.
+func (c *Controller) deploy(svc *Service, cl cluster.Cluster) (cluster.Instance, error) {
+	key := deployKey{service: svc.Name, cluster: cl.Name()}
+	for attempt := 0; ; attempt++ {
+		c.mu.Lock()
+		st, exists := c.deployments[key]
+		if !exists {
+			st = &deployState{done: vclock.NewGate(), deployedByUs: true}
+			c.deployments[key] = st
+			c.mu.Unlock()
+			st.inst, st.err = c.runPhases(svc, cl)
+			if st.err != nil {
+				// Unregister the failed attempt so a later request retries.
+				c.mu.Lock()
+				delete(c.deployments, key)
+				c.mu.Unlock()
+			}
+			st.done.Open()
+			return st.inst, st.err
+		}
+		c.mu.Unlock()
+		st.done.Wait(c.clk)
+		if st.err != nil {
+			return st.inst, st.err
+		}
+		// Validate the cached result against the live cluster state.
+		if insts := cl.Instances(svc.Name); len(insts) > 0 {
+			return insts[0], nil
+		}
+		if attempt >= 2 {
+			return cluster.Instance{}, fmt.Errorf("core: %s on %s keeps disappearing after deployment", svc.Name, cl.Name())
+		}
+		// Stale: the instance died behind our back. Drop the record and
+		// redeploy.
+		c.mu.Lock()
+		if c.deployments[key] == st {
+			delete(c.deployments, key)
+		}
+		c.mu.Unlock()
+	}
+}
+
+// runPhases executes Pull → Create → Scale Up → wait-for-port,
+// reporting per-phase durations through the OnDeploy hook.
+func (c *Controller) runPhases(svc *Service, cl cluster.Cluster) (inst cluster.Instance, err error) {
+	tr := DeployTrace{Service: svc.Name, Cluster: cl.Name()}
+	start := c.clk.Now()
+	defer func() {
+		tr.Total = c.clk.Since(start)
+		tr.Err = err
+		if c.cfg.OnDeploy != nil {
+			c.cfg.OnDeploy(tr)
+		}
+	}()
+
+	spec := c.specFor(svc, cl)
+	if !cl.HasImages(spec) {
+		t0 := c.clk.Now()
+		if err = cl.Pull(spec); err != nil {
+			return cluster.Instance{}, err
+		}
+		tr.Pull = c.clk.Since(t0)
+		c.count(func(s *Stats) { s.Pulls++ })
+	}
+	if !cl.Created(svc.Name) {
+		t0 := c.clk.Now()
+		if err = cl.Create(spec); err != nil {
+			return cluster.Instance{}, err
+		}
+		tr.Create = c.clk.Since(t0)
+		c.count(func(s *Stats) { s.Creates++ })
+	}
+	t0 := c.clk.Now()
+	if err = cl.ScaleUp(svc.Name); err != nil {
+		return cluster.Instance{}, err
+	}
+	tr.ScaleUp = c.clk.Since(t0)
+	c.count(func(s *Stats) { s.ScaleUps++ })
+	t0 = c.clk.Now()
+	inst, err = c.waitReady(svc, cl)
+	tr.Wait = c.clk.Since(t0)
+	return inst, err
+}
+
+// waitReady polls the cluster for an instance and then verifies its
+// port is open — "before setting up the flows, the controller
+// continuously tests if the respective port is open" (§VI).
+func (c *Controller) waitReady(svc *Service, cl cluster.Cluster) (cluster.Instance, error) {
+	deadline := c.clk.Now().Add(c.cfg.DeployTimeout)
+	for {
+		for _, inst := range cl.Instances(svc.Name) {
+			if c.probePort(inst.Addr) {
+				return inst, nil
+			}
+		}
+		if c.clk.Now().After(deadline) {
+			return cluster.Instance{}, fmt.Errorf("core: %s on %s not ready within %v", svc.Name, cl.Name(), c.cfg.DeployTimeout)
+		}
+		c.clk.Sleep(c.cfg.ProbeInterval)
+	}
+}
+
+// probePort checks whether the instance accepts TCP connections.
+func (c *Controller) probePort(addr netem.HostPort) bool {
+	conn, err := c.cfg.Host.DialTimeout(addr, c.cfg.ProbeInterval*5)
+	if err != nil {
+		return false
+	}
+	conn.Close()
+	return true
+}
+
+// installRedirect programs the ingress switch for (client, service,
+// instance): a rewrite pair for an edge instance, or a plain forward
+// rule when the instance is the cloud origin itself.
+func (c *Controller) installRedirect(sw *openflow.Switch, client netem.IP, svc *Service, inst cluster.Instance) {
+	c.count(func(s *Stats) { s.FlowsInstalled++ })
+	if inst.Addr == svc.Addr {
+		// Served by the origin: skip the controller for future packets.
+		sw.InstallFlow(openflow.FlowSpec{
+			Priority:    redirectPriority,
+			Match:       openflow.Match{SrcIP: client, DstIP: svc.Addr.IP, DstPort: svc.Addr.Port},
+			Actions:     []openflow.Action{openflow.OutputNormal{}},
+			IdleTimeout: c.cfg.SwitchFlowIdle,
+			Cookie:      svc.cookie,
+		})
+		return
+	}
+	// Forward: client → registered address, rewritten to the instance.
+	sw.InstallFlow(openflow.FlowSpec{
+		Priority: redirectPriority,
+		Match:    openflow.Match{SrcIP: client, DstIP: svc.Addr.IP, DstPort: svc.Addr.Port},
+		Actions: []openflow.Action{
+			openflow.SetDstIP{IP: inst.Addr.IP},
+			openflow.SetDstPort{Port: inst.Addr.Port},
+			openflow.OutputNormal{},
+		},
+		IdleTimeout: c.cfg.SwitchFlowIdle,
+		Cookie:      svc.cookie,
+	})
+	// Reverse: instance → client, rewritten back to the registered
+	// address so the exchange still looks like a cloud access.
+	sw.InstallFlow(openflow.FlowSpec{
+		Priority: redirectPriority,
+		Match:    openflow.Match{SrcIP: inst.Addr.IP, SrcPort: inst.Addr.Port, DstIP: client},
+		Actions: []openflow.Action{
+			openflow.SetSrcIP{IP: svc.Addr.IP},
+			openflow.SetSrcPort{Port: svc.Addr.Port},
+			openflow.OutputNormal{},
+		},
+		IdleTimeout: c.cfg.SwitchFlowIdle,
+		Cookie:      svc.cookie,
+	})
+}
+
+// PreDeploy proactively deploys a service on a named cluster (the
+// "deployed proactively" arrow of Fig. 1); it blocks until ready.
+func (c *Controller) PreDeploy(svcAddr netem.HostPort, clusterName string) (cluster.Instance, error) {
+	svc, ok := c.ServiceByAddr(svcAddr)
+	if !ok {
+		return cluster.Instance{}, fmt.Errorf("core: service %s not registered", svcAddr)
+	}
+	for _, cl := range c.cfg.Clusters {
+		if cl.Name() == clusterName {
+			return c.deploy(svc, cl)
+		}
+	}
+	return cluster.Instance{}, fmt.Errorf("core: unknown cluster %q", clusterName)
+}

@@ -1,0 +1,170 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"github.com/c3lab/transparentedge/internal/cluster"
+	"github.com/c3lab/transparentedge/internal/netem"
+	"github.com/c3lab/transparentedge/internal/vclock"
+)
+
+// FlowMemory mirrors the redirect flows the controller installed in the
+// switches. It lets the controller keep the switch-side idle timeouts
+// low: when a flow expires in the switch but the same client asks for
+// the same service again, the mapping is re-installed from memory
+// without calling the Scheduler. Memorized flows carry their own,
+// longer idle timeout whose expiry additionally drives automatic
+// scale-down of idle services (§V).
+type FlowMemory struct {
+	clk vclock.Clock
+	// Idle is the memory-side idle timeout.
+	Idle time.Duration
+	// OnServiceIdle, if set, fires when the last memorized flow of a
+	// service expires — the scale-down hook.
+	OnServiceIdle func(service string)
+
+	mu      sync.Mutex
+	entries map[flowKey]*memEntry
+	// perService counts live entries per service name.
+	perService map[string]int
+}
+
+type flowKey struct {
+	client  netem.IP
+	service netem.HostPort
+}
+
+type memEntry struct {
+	instance cluster.Instance
+	lastUsed time.Time
+	removed  bool
+	svcName  string
+}
+
+// NewFlowMemory returns an empty memory with the given idle timeout.
+func NewFlowMemory(clk vclock.Clock, idle time.Duration) *FlowMemory {
+	return &FlowMemory{
+		clk:        clk,
+		Idle:       idle,
+		entries:    make(map[flowKey]*memEntry),
+		perService: make(map[string]int),
+	}
+}
+
+// Lookup returns the memorized instance for (client, service) and
+// refreshes its idle timer.
+func (fm *FlowMemory) Lookup(client netem.IP, service netem.HostPort) (cluster.Instance, bool) {
+	fm.mu.Lock()
+	defer fm.mu.Unlock()
+	e, ok := fm.entries[flowKey{client, service}]
+	if !ok || e.removed {
+		return cluster.Instance{}, false
+	}
+	e.lastUsed = fm.clk.Now()
+	return e.instance, true
+}
+
+// Remember stores (or replaces) the mapping for (client, service).
+func (fm *FlowMemory) Remember(client netem.IP, service netem.HostPort, svcName string, inst cluster.Instance) {
+	key := flowKey{client, service}
+	fm.mu.Lock()
+	if old, ok := fm.entries[key]; ok && !old.removed {
+		old.instance = inst
+		old.lastUsed = fm.clk.Now()
+		fm.mu.Unlock()
+		return
+	}
+	e := &memEntry{instance: inst, lastUsed: fm.clk.Now(), svcName: svcName}
+	fm.entries[key] = e
+	fm.perService[svcName]++
+	fm.mu.Unlock()
+	if fm.Idle > 0 {
+		fm.scheduleExpiry(key, e, fm.Idle)
+	}
+}
+
+// Touch refreshes the idle timer of (client, service); the controller
+// calls it when the switch reports a removed flow, since flow removal
+// implies traffic existed until a moment ago.
+func (fm *FlowMemory) Touch(client netem.IP, service netem.HostPort) {
+	fm.mu.Lock()
+	defer fm.mu.Unlock()
+	if e, ok := fm.entries[flowKey{client, service}]; ok && !e.removed {
+		e.lastUsed = fm.clk.Now()
+	}
+}
+
+// Forget removes the mapping immediately (used when redirecting future
+// requests to a better instance).
+func (fm *FlowMemory) Forget(client netem.IP, service netem.HostPort) {
+	fm.mu.Lock()
+	defer fm.mu.Unlock()
+	fm.dropLocked(flowKey{client, service})
+}
+
+// ForgetService drops every mapping of one service that does not point
+// at keep (pass an empty instance to drop all).
+func (fm *FlowMemory) ForgetService(svcName string, keep cluster.Instance) {
+	fm.mu.Lock()
+	defer fm.mu.Unlock()
+	for key, e := range fm.entries {
+		if e.svcName == svcName && !e.removed && e.instance != keep {
+			fm.dropLocked(key)
+		}
+	}
+}
+
+// dropLocked removes one entry; callers hold fm.mu. The service-idle
+// hook never fires from explicit removal, only from idle expiry.
+func (fm *FlowMemory) dropLocked(key flowKey) {
+	e, ok := fm.entries[key]
+	if !ok || e.removed {
+		return
+	}
+	e.removed = true
+	delete(fm.entries, key)
+	fm.perService[e.svcName]--
+	if fm.perService[e.svcName] <= 0 {
+		delete(fm.perService, e.svcName)
+	}
+}
+
+// scheduleExpiry arms the idle timer for one entry, re-arming while the
+// entry keeps being touched.
+func (fm *FlowMemory) scheduleExpiry(key flowKey, e *memEntry, wait time.Duration) {
+	fm.clk.AfterFunc(wait, func() {
+		fm.mu.Lock()
+		if e.removed {
+			fm.mu.Unlock()
+			return
+		}
+		silent := fm.clk.Since(e.lastUsed)
+		if silent < fm.Idle {
+			fm.mu.Unlock()
+			fm.scheduleExpiry(key, e, fm.Idle-silent)
+			return
+		}
+		fm.dropLocked(key)
+		idle := fm.perService[e.svcName] == 0
+		hook := fm.OnServiceIdle
+		fm.mu.Unlock()
+		if idle && hook != nil {
+			hook(e.svcName)
+		}
+	})
+}
+
+// Len reports the number of memorized flows.
+func (fm *FlowMemory) Len() int {
+	fm.mu.Lock()
+	defer fm.mu.Unlock()
+	return len(fm.entries)
+}
+
+// ServiceFlows reports the number of memorized flows for one service.
+func (fm *FlowMemory) ServiceFlows(svcName string) int {
+	fm.mu.Lock()
+	defer fm.mu.Unlock()
+	return fm.perService[svcName]
+}

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/c3lab/transparentedge/internal/cluster"
+	"github.com/c3lab/transparentedge/internal/netem"
+	"github.com/c3lab/transparentedge/internal/vclock"
+)
+
+// TestFlowMemoryCountInvariantProperty drives the FlowMemory with random
+// operation sequences and checks its per-service counters against a
+// reference model after every step.
+func TestFlowMemoryCountInvariantProperty(t *testing.T) {
+	type op struct {
+		Kind    uint8 // remember / forget / forgetService / touch / sleep
+		Client  uint8
+		Service uint8
+	}
+	f := func(ops []op) bool {
+		if len(ops) > 60 {
+			ops = ops[:60]
+		}
+		clk := vclock.New()
+		ok := true
+		clk.Run(func() {
+			fm := NewFlowMemory(clk, 5*time.Second)
+			type key struct {
+				client  netem.IP
+				service netem.HostPort
+			}
+			// Reference model without timers: we never sleep past the
+			// idle timeout, so expiry cannot fire mid-sequence.
+			model := make(map[key]string)
+			svcAddr := func(s uint8) netem.HostPort {
+				return netem.HostPort{IP: netem.ParseIP("203.0.113.1"), Port: 80 + uint16(s%4)}
+			}
+			svcName := func(s uint8) string { return "svc-" + string(rune('a'+s%4)) }
+			clientIP := func(c uint8) netem.IP { return netem.ParseIP("192.168.1.1") + netem.IP(c%6) }
+			inst := cluster.Instance{Addr: netem.ParseHostPort("10.0.0.2:20000")}
+
+			for _, o := range ops {
+				k := key{client: clientIP(o.Client), service: svcAddr(o.Service)}
+				switch o.Kind % 5 {
+				case 0:
+					fm.Remember(k.client, k.service, svcName(o.Service), inst)
+					model[k] = svcName(o.Service)
+				case 1:
+					fm.Forget(k.client, k.service)
+					delete(model, k)
+				case 2:
+					name := svcName(o.Service)
+					fm.ForgetService(name, cluster.Instance{Addr: netem.ParseHostPort("9.9.9.9:9")})
+					for mk, mv := range model {
+						if mv == name {
+							delete(model, mk)
+						}
+					}
+				case 3:
+					fm.Touch(k.client, k.service)
+				case 4:
+					clk.Sleep(100 * time.Millisecond)
+				}
+				if fm.Len() != len(model) {
+					ok = false
+					return
+				}
+				counts := map[string]int{}
+				for _, name := range model {
+					counts[name]++
+				}
+				for name, want := range counts {
+					if fm.ServiceFlows(name) != want {
+						ok = false
+						return
+					}
+				}
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFlowMemoryIdleHookFiresExactlyOnceProperty: regardless of how many
+// entries a service accumulates, its idle hook fires exactly once after
+// all of them expire together.
+func TestFlowMemoryIdleHookFiresExactlyOnceProperty(t *testing.T) {
+	f := func(nClients uint8) bool {
+		n := int(nClients%10) + 1
+		clk := vclock.New()
+		fired := 0
+		clk.Run(func() {
+			fm := NewFlowMemory(clk, time.Second)
+			fm.OnServiceIdle = func(string) { fired++ }
+			svc := netem.ParseHostPort("203.0.113.1:80")
+			inst := cluster.Instance{Addr: netem.ParseHostPort("10.0.0.2:20000")}
+			for i := 0; i < n; i++ {
+				fm.Remember(netem.ParseIP("192.168.1.1")+netem.IP(i), svc, "svc", inst)
+			}
+			clk.Sleep(10 * time.Second)
+		})
+		return fired == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

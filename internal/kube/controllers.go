@@ -1,0 +1,419 @@
+package kube
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"github.com/c3lab/transparentedge/internal/netem"
+	"github.com/c3lab/transparentedge/internal/vclock"
+)
+
+// mergeWatches funnels several watches into one mailbox so a controller
+// can process heterogeneous events in arrival order.
+func mergeWatches(clk vclock.Clock, watches ...*Watch) *vclock.Mailbox[Event] {
+	out := vclock.NewMailbox[Event](clk)
+	for _, w := range watches {
+		w := w
+		clk.Go(func() {
+			for {
+				ev, ok := w.Recv()
+				if !ok {
+					return
+				}
+				out.Send(ev)
+			}
+		})
+	}
+	return out
+}
+
+// keyQueue is a deduplicating work queue, the coalescing mechanism of
+// real controllers: a key added many times while queued is reconciled
+// once. Without it, a deployment burst (Fig. 10: up to eight per
+// second) would serialize one reconcile per watch event.
+type keyQueue struct {
+	clk   vclock.Clock
+	mu    sync.Mutex
+	cond  *vclock.Cond
+	set   map[string]bool
+	order []string
+}
+
+func newKeyQueue(clk vclock.Clock) *keyQueue {
+	q := &keyQueue{clk: clk, set: make(map[string]bool)}
+	q.cond = vclock.NewCond(clk, &q.mu)
+	return q
+}
+
+// Add enqueues key unless it is already pending.
+func (q *keyQueue) Add(key string) {
+	q.mu.Lock()
+	if !q.set[key] {
+		q.set[key] = true
+		q.order = append(q.order, key)
+	}
+	q.mu.Unlock()
+	q.cond.Signal()
+}
+
+// Get blocks until a key is pending and removes it.
+func (q *keyQueue) Get() string {
+	q.mu.Lock()
+	for len(q.order) == 0 {
+		q.cond.Wait()
+	}
+	key := q.order[0]
+	q.order = q.order[1:]
+	delete(q.set, key)
+	q.mu.Unlock()
+	return key
+}
+
+// runWorker processes keys forever on a clock goroutine.
+func (q *keyQueue) runWorker(reconcile func(key string)) {
+	q.clk.Go(func() {
+		for {
+			reconcile(q.Get())
+		}
+	})
+}
+
+// controllerBase bundles what every control loop needs.
+type controllerBase struct {
+	api *API
+	clk vclock.Clock
+	rng *vclock.Rand
+}
+
+func (c *controllerBase) work() {
+	c.clk.Sleep(c.rng.Jitter(c.api.timing.ControllerWork, c.api.timing.JitterFrac))
+}
+
+// rsNameFor derives the ReplicaSet name owned by a deployment.
+func rsNameFor(deployment string) string { return deployment + "-rs" }
+
+// deploymentController reconciles Deployments into ReplicaSets and
+// aggregates status back up.
+type deploymentController struct {
+	controllerBase
+}
+
+func startDeploymentController(api *API, seed int64) {
+	c := &deploymentController{controllerBase{api: api, clk: api.clk, rng: vclock.NewRand(seed)}}
+	queue := newKeyQueue(api.clk)
+	events := mergeWatches(api.clk, api.Watch(KindDeployment), api.Watch(KindReplicaSet))
+	api.clk.Go(func() {
+		for {
+			ev, ok := events.Recv()
+			if !ok {
+				return
+			}
+			switch obj := ev.Object.(type) {
+			case *Deployment:
+				queue.Add(obj.Name)
+			case *ReplicaSet:
+				if obj.OwnerName != "" {
+					queue.Add(obj.OwnerName)
+				}
+			}
+		}
+	})
+	queue.runWorker(c.reconcile)
+}
+
+func (c *deploymentController) reconcile(name string) {
+	obj, ok := c.api.Get(KindDeployment, name)
+	if !ok {
+		// Deployment gone: reap the owned ReplicaSet.
+		c.work()
+		c.api.Delete(KindReplicaSet, rsNameFor(name))
+		return
+	}
+	d := obj.(*Deployment)
+	c.work()
+
+	rsName := rsNameFor(d.Name)
+	cur, exists := c.api.Get(KindReplicaSet, rsName)
+	if !exists {
+		rs := &ReplicaSet{
+			ObjectMeta: ObjectMeta{
+				Name:      rsName,
+				Labels:    copyMap(d.Spec.Template.Labels),
+				OwnerName: d.Name,
+			},
+			Spec: ReplicaSetSpec{
+				Replicas: d.Spec.Replicas,
+				Selector: copyMap(d.Spec.Selector),
+				Template: d.Spec.Template.deepCopy(),
+			},
+		}
+		c.api.Create(rs)
+		return
+	}
+	rs := cur.(*ReplicaSet)
+	if !templatesEqual(rs.Spec.Template, d.Spec.Template) {
+		// Template change: Recreate strategy — delete the ReplicaSet
+		// (its pods are reaped) and stamp out a fresh one on the next
+		// reconcile. Edge services are stateless scale-from-zero
+		// workloads, so Recreate matches their operational model.
+		c.api.Delete(KindReplicaSet, rsName)
+		c.reconcile(name)
+		return
+	}
+	if rs.Spec.Replicas != d.Spec.Replicas {
+		c.api.Mutate(KindReplicaSet, rsName, func(obj Object) bool {
+			live := obj.(*ReplicaSet)
+			if live.Spec.Replicas == d.Spec.Replicas {
+				return false
+			}
+			live.Spec.Replicas = d.Spec.Replicas
+			return true
+		})
+		return
+	}
+	// Surface observed counts on the deployment.
+	c.api.Mutate(KindDeployment, d.Name, func(obj Object) bool {
+		live := obj.(*Deployment)
+		if live.Status.Replicas == rs.Status.Replicas && live.Status.ReadyReplicas == rs.Status.ReadyReplicas {
+			return false
+		}
+		live.Status.Replicas = rs.Status.Replicas
+		live.Status.ReadyReplicas = rs.Status.ReadyReplicas
+		return true
+	})
+}
+
+// templatesEqual compares the fields that force pod replacement.
+func templatesEqual(a, b PodTemplate) bool {
+	if len(a.Containers) != len(b.Containers) || a.SchedulerName != b.SchedulerName {
+		return false
+	}
+	for i := range a.Containers {
+		if a.Containers[i] != b.Containers[i] {
+			return false
+		}
+	}
+	if len(a.Labels) != len(b.Labels) {
+		return false
+	}
+	for k, v := range a.Labels {
+		if b.Labels[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// replicaSetController stamps out and reaps Pods for ReplicaSets.
+type replicaSetController struct {
+	controllerBase
+}
+
+func startReplicaSetController(api *API, seed int64) {
+	c := &replicaSetController{controllerBase{api: api, clk: api.clk, rng: vclock.NewRand(seed)}}
+	queue := newKeyQueue(api.clk)
+	events := mergeWatches(api.clk, api.Watch(KindReplicaSet), api.Watch(KindPod))
+	api.clk.Go(func() {
+		for {
+			ev, ok := events.Recv()
+			if !ok {
+				return
+			}
+			switch obj := ev.Object.(type) {
+			case *ReplicaSet:
+				queue.Add(obj.Name)
+			case *Pod:
+				if obj.OwnerName != "" {
+					queue.Add(obj.OwnerName)
+				}
+			}
+		}
+	})
+	queue.runWorker(c.reconcile)
+}
+
+func (c *replicaSetController) ownedPods(rsName string) []*Pod {
+	var out []*Pod
+	for _, obj := range c.api.List(KindPod, nil) {
+		p := obj.(*Pod)
+		if p.OwnerName == rsName && p.Status.Phase != PodFailed {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func (c *replicaSetController) reconcile(rsName string) {
+	obj, ok := c.api.Get(KindReplicaSet, rsName)
+	if !ok {
+		// ReplicaSet gone: reap the owned pods.
+		c.work()
+		for _, p := range c.ownedPods(rsName) {
+			c.api.Delete(KindPod, p.Name)
+		}
+		return
+	}
+	rs := obj.(*ReplicaSet)
+	c.work()
+	pods := c.ownedPods(rs.Name)
+
+	switch {
+	case len(pods) < rs.Spec.Replicas:
+		for i := len(pods); i < rs.Spec.Replicas; i++ {
+			c.api.Create(c.newPod(rs, pods))
+			pods = c.ownedPods(rs.Name)
+		}
+	case len(pods) > rs.Spec.Replicas:
+		doomed := victims(pods, len(pods)-rs.Spec.Replicas)
+		for _, p := range doomed {
+			c.api.Delete(KindPod, p.Name)
+		}
+		pods = c.ownedPods(rs.Name)
+	}
+
+	ready := 0
+	for _, p := range pods {
+		if p.Status.Ready {
+			ready++
+		}
+	}
+	count := len(pods)
+	c.api.Mutate(KindReplicaSet, rs.Name, func(obj Object) bool {
+		live := obj.(*ReplicaSet)
+		if live.Status.Replicas == count && live.Status.ReadyReplicas == ready {
+			return false
+		}
+		live.Status.Replicas = count
+		live.Status.ReadyReplicas = ready
+		return true
+	})
+}
+
+// newPod builds the next pod for rs, choosing a free ordinal suffix.
+func (c *replicaSetController) newPod(rs *ReplicaSet, existing []*Pod) *Pod {
+	used := make(map[string]bool, len(existing))
+	for _, p := range existing {
+		used[p.Name] = true
+	}
+	var name string
+	for i := 0; ; i++ {
+		name = fmt.Sprintf("%s-%d", rs.Name, i)
+		if !used[name] {
+			break
+		}
+	}
+	return &Pod{
+		ObjectMeta: ObjectMeta{
+			Name:      name,
+			Labels:    copyMap(rs.Spec.Template.Labels),
+			OwnerName: rs.Name,
+		},
+		Spec: PodSpec{
+			Containers:    append([]ContainerSpec(nil), rs.Spec.Template.Containers...),
+			Volumes:       append([]string(nil), rs.Spec.Template.Volumes...),
+			SchedulerName: rs.Spec.Template.SchedulerName,
+		},
+		Status: PodStatus{Phase: PodPending},
+	}
+}
+
+// victims picks n pods to delete on scale-down: not-ready first, then
+// youngest.
+func victims(pods []*Pod, n int) []*Pod {
+	sorted := append([]*Pod(nil), pods...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Status.Ready != sorted[j].Status.Ready {
+			return !sorted[i].Status.Ready
+		}
+		return sorted[i].CreatedAt.After(sorted[j].CreatedAt)
+	})
+	if n > len(sorted) {
+		n = len(sorted)
+	}
+	return sorted[:n]
+}
+
+// endpointsController maintains one Endpoints object per Service listing
+// the ready backing pods.
+type endpointsController struct {
+	controllerBase
+}
+
+func startEndpointsController(api *API, seed int64) {
+	c := &endpointsController{controllerBase{api: api, clk: api.clk, rng: vclock.NewRand(seed)}}
+	queue := newKeyQueue(api.clk)
+	events := mergeWatches(api.clk, api.Watch(KindService), api.Watch(KindPod))
+	api.clk.Go(func() {
+		for {
+			ev, ok := events.Recv()
+			if !ok {
+				return
+			}
+			switch obj := ev.Object.(type) {
+			case *Service:
+				queue.Add(obj.Name)
+			case *Pod:
+				// Any pod change may affect any service selecting it.
+				for _, svcObj := range c.api.List(KindService, nil) {
+					svc := svcObj.(*Service)
+					if matchesSelector(obj.Labels, svc.Spec.Selector) || ev.Type == Deleted {
+						queue.Add(svc.Name)
+					}
+				}
+			}
+		}
+	})
+	queue.runWorker(c.reconcile)
+}
+
+func (c *endpointsController) reconcile(svcName string) {
+	obj, ok := c.api.Get(KindService, svcName)
+	if !ok {
+		c.api.Delete(KindEndpoints, svcName)
+		return
+	}
+	svc := obj.(*Service)
+	c.work()
+
+	var addrs []netem.HostPort
+	for _, podObj := range c.api.List(KindPod, svc.Spec.Selector) {
+		p := podObj.(*Pod)
+		if p.Status.Ready && !p.Addr().IsZero() {
+			addrs = append(addrs, p.Addr())
+		}
+	}
+	sort.Slice(addrs, func(i, j int) bool {
+		return strings.Compare(addrs[i].String(), addrs[j].String()) < 0
+	})
+
+	cur, exists := c.api.Get(KindEndpoints, svc.Name)
+	if !exists {
+		c.api.Create(&Endpoints{
+			ObjectMeta: ObjectMeta{Name: svc.Name, OwnerName: svc.Name},
+			Addresses:  addrs,
+		})
+		return
+	}
+	c.api.Mutate(KindEndpoints, cur.Meta().Name, func(obj Object) bool {
+		live := obj.(*Endpoints)
+		if addrsEqual(live.Addresses, addrs) {
+			return false
+		}
+		live.Addresses = addrs
+		return true
+	})
+}
+
+func addrsEqual(a, b []netem.HostPort) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

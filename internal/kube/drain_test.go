@@ -1,0 +1,104 @@
+package kube
+
+import (
+	"testing"
+	"time"
+
+	"github.com/c3lab/transparentedge/internal/vclock"
+)
+
+func waitCondition(t *testing.T, clk *vclock.Virtual, timeout time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := clk.Now().Add(timeout)
+	for !cond() {
+		if clk.Now().After(deadline) {
+			t.Fatal("condition never reached")
+		}
+		clk.Sleep(200 * time.Millisecond)
+	}
+}
+
+func waitEndpoints(t *testing.T, clk *vclock.Virtual, env *kubeEnv, svc string, want int, timeout time.Duration) {
+	t.Helper()
+	deadline := clk.Now().Add(timeout)
+	for len(env.cluster.ReadyEndpoints(svc)) != want {
+		if clk.Now().After(deadline) {
+			t.Fatalf("endpoints = %d, want %d", len(env.cluster.ReadyEndpoints(svc)), want)
+		}
+		clk.Sleep(200 * time.Millisecond)
+	}
+}
+
+func TestDrainNodeMovesPods(t *testing.T) {
+	clk := vclock.New()
+	clk.Run(func() {
+		env := newKubeEnv(t, clk, 2)
+		env.cluster.CreateDeployment(webDeployment("svc", 2))
+		env.cluster.CreateService(webService("svc"))
+		waitEndpoints(t, clk, env, "svc", 2, time.Minute)
+
+		// LeastLoaded spread one pod per node; drain node0.
+		if err := env.cluster.DrainNode("node0"); err != nil {
+			t.Fatal(err)
+		}
+		// Replacement pods land on node1 only. Wait until the eviction
+		// has propagated (the endpoint count is transiently stale for a
+		// watch latency after the drain).
+		waitCondition(t, clk, time.Minute, func() bool {
+			return len(env.cluster.PodsOnNode("node0")) == 0 &&
+				len(env.cluster.PodsOnNode("node1")) == 2 &&
+				len(env.cluster.ReadyEndpoints("svc")) == 2
+		})
+
+		// Uncordon and drain the other node: pods flow back.
+		if err := env.cluster.UncordonNode("node0"); err != nil {
+			t.Fatal(err)
+		}
+		if err := env.cluster.DrainNode("node1"); err != nil {
+			t.Fatal(err)
+		}
+		waitCondition(t, clk, time.Minute, func() bool {
+			return len(env.cluster.PodsOnNode("node1")) == 0 &&
+				len(env.cluster.PodsOnNode("node0")) == 2 &&
+				len(env.cluster.ReadyEndpoints("svc")) == 2
+		})
+	})
+}
+
+func TestDrainLastNodeLeavesPodsPending(t *testing.T) {
+	clk := vclock.New()
+	clk.Run(func() {
+		env := newKubeEnv(t, clk, 1)
+		env.cluster.CreateDeployment(webDeployment("svc", 1))
+		env.cluster.CreateService(webService("svc"))
+		waitEndpoints(t, clk, env, "svc", 1, time.Minute)
+		if err := env.cluster.DrainNode("node0"); err != nil {
+			t.Fatal(err)
+		}
+		clk.Sleep(15 * time.Second)
+		// The replacement pod exists but cannot be scheduled anywhere.
+		pods := env.cluster.API().List(KindPod, nil)
+		if len(pods) != 1 {
+			t.Fatalf("pods = %d, want 1 replacement", len(pods))
+		}
+		if p := pods[0].(*Pod); p.Spec.NodeName != "" {
+			t.Errorf("pod bound to %q despite full cordon", p.Spec.NodeName)
+		}
+		if eps := env.cluster.ReadyEndpoints("svc"); len(eps) != 0 {
+			t.Errorf("endpoints = %v on a fully drained cluster", eps)
+		}
+		// Uncordon: the pending pod gets scheduled and serves again.
+		env.cluster.UncordonNode("node0")
+		waitEndpoints(t, clk, env, "svc", 1, time.Minute)
+	})
+}
+
+func TestCordonUnknownNode(t *testing.T) {
+	clk := vclock.New()
+	clk.Run(func() {
+		env := newKubeEnv(t, clk, 1)
+		if err := env.cluster.CordonNode("ghost"); err == nil {
+			t.Error("cordon of unknown node succeeded")
+		}
+	})
+}

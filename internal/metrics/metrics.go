@@ -1,0 +1,224 @@
+// Package metrics provides the summary statistics and plain-text table
+// rendering used to report every experiment: medians (the paper reports
+// medians throughout), percentiles, and fixed-width tables/CSV suitable
+// for EXPERIMENTS.md.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Series collects duration samples.
+type Series struct {
+	Name    string
+	samples []time.Duration
+}
+
+// NewSeries returns an empty named series.
+func NewSeries(name string) *Series { return &Series{Name: name} }
+
+// Add appends one sample.
+func (s *Series) Add(d time.Duration) { s.samples = append(s.samples, d) }
+
+// Len returns the sample count.
+func (s *Series) Len() int { return len(s.samples) }
+
+// Samples returns a copy of the raw samples.
+func (s *Series) Samples() []time.Duration {
+	return append([]time.Duration(nil), s.samples...)
+}
+
+// Median returns the 50th percentile.
+func (s *Series) Median() time.Duration { return s.Percentile(50) }
+
+// Percentile returns the p-th percentile (nearest-rank) or 0 when empty.
+func (s *Series) Percentile(p float64) time.Duration {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	sorted := s.Samples()
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := int(p/100*float64(len(sorted))+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+// Mean returns the arithmetic mean or 0 when empty.
+func (s *Series) Mean() time.Duration {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, d := range s.samples {
+		sum += d
+	}
+	return sum / time.Duration(len(s.samples))
+}
+
+// Min returns the smallest sample or 0 when empty.
+func (s *Series) Min() time.Duration {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	min := s.samples[0]
+	for _, d := range s.samples[1:] {
+		if d < min {
+			min = d
+		}
+	}
+	return min
+}
+
+// Max returns the largest sample or 0 when empty.
+func (s *Series) Max() time.Duration {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	max := s.samples[0]
+	for _, d := range s.samples[1:] {
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// FmtMS renders a duration as milliseconds with adaptive precision,
+// e.g. "0.9 ms", "542 ms", "3041 ms".
+func FmtMS(d time.Duration) string {
+	ms := float64(d) / float64(time.Millisecond)
+	switch {
+	case ms < 10:
+		return fmt.Sprintf("%.1f ms", ms)
+	default:
+		return fmt.Sprintf("%.0f ms", ms)
+	}
+}
+
+// Table renders fixed-width text tables.
+type Table struct {
+	Title   string
+	headers []string
+	rows    [][]string
+}
+
+// NewTable returns a table with the given column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, headers: headers}
+}
+
+// AddRow appends one row; short rows are padded.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.headers))
+	copy(row, cells)
+	t.rows = append(t.rows, row)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteString("\n")
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			b.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.headers)
+	sep := make([]string, len(t.headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	write := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString(",")
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				c = `"` + strings.ReplaceAll(c, `"`, `""`) + `"`
+			}
+			b.WriteString(c)
+		}
+		b.WriteString("\n")
+	}
+	write(t.headers)
+	for _, row := range t.rows {
+		write(row)
+	}
+	return b.String()
+}
+
+// Histogram renders integer bins (e.g. requests per second) as a
+// text sparkline table, used for the Fig. 9 / Fig. 10 series.
+func Histogram(title string, bins []int, binWidth time.Duration, maxRows int) string {
+	var b strings.Builder
+	b.WriteString(title)
+	b.WriteString("\n")
+	peak := 0
+	for _, n := range bins {
+		if n > peak {
+			peak = n
+		}
+	}
+	if peak == 0 {
+		peak = 1
+	}
+	step := 1
+	if maxRows > 0 && len(bins) > maxRows {
+		step = (len(bins) + maxRows - 1) / maxRows
+	}
+	for start := 0; start < len(bins); start += step {
+		sum := 0
+		for i := start; i < start+step && i < len(bins); i++ {
+			sum += bins[i]
+		}
+		bar := strings.Repeat("#", sum*50/(peak*step)+1)
+		if sum == 0 {
+			bar = ""
+		}
+		fmt.Fprintf(&b, "%6s  %4d %s\n", time.Duration(start)*binWidth, sum, bar)
+	}
+	return b.String()
+}

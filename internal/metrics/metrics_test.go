@@ -1,0 +1,156 @@
+package metrics
+
+import (
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func series(vals ...time.Duration) *Series {
+	s := NewSeries("test")
+	for _, v := range vals {
+		s.Add(v)
+	}
+	return s
+}
+
+func TestMedianOddEven(t *testing.T) {
+	if got := series(3, 1, 2).Median(); got != 2 {
+		t.Errorf("odd median = %v", got)
+	}
+	got := series(1, 2, 3, 4).Median()
+	if got != 2 && got != 3 {
+		t.Errorf("even median = %v, want 2 or 3", got)
+	}
+}
+
+func TestEmptySeriesSafe(t *testing.T) {
+	s := NewSeries("empty")
+	if s.Median() != 0 || s.Mean() != 0 || s.Min() != 0 || s.Max() != 0 || s.Percentile(99) != 0 {
+		t.Error("empty series stats non-zero")
+	}
+	if s.Len() != 0 {
+		t.Error("empty Len")
+	}
+}
+
+func TestPercentileBounds(t *testing.T) {
+	s := series(10, 20, 30, 40, 50)
+	if s.Percentile(0) != 10 {
+		t.Errorf("p0 = %v", s.Percentile(0))
+	}
+	if s.Percentile(100) != 50 {
+		t.Errorf("p100 = %v", s.Percentile(100))
+	}
+	if s.Percentile(-5) != 10 || s.Percentile(200) != 50 {
+		t.Error("out-of-range percentiles not clamped")
+	}
+}
+
+func TestMeanMinMax(t *testing.T) {
+	s := series(10, 20, 30)
+	if s.Mean() != 20 || s.Min() != 10 || s.Max() != 30 {
+		t.Errorf("mean/min/max = %v/%v/%v", s.Mean(), s.Min(), s.Max())
+	}
+}
+
+func TestSamplesCopy(t *testing.T) {
+	s := series(1, 2)
+	got := s.Samples()
+	got[0] = 99
+	if s.Samples()[0] != 1 {
+		t.Error("Samples returned aliased slice")
+	}
+}
+
+func TestFmtMS(t *testing.T) {
+	if got := FmtMS(900 * time.Microsecond); got != "0.9 ms" {
+		t.Errorf("FmtMS = %q", got)
+	}
+	if got := FmtMS(542 * time.Millisecond); got != "542 ms" {
+		t.Errorf("FmtMS = %q", got)
+	}
+	if got := FmtMS(3041 * time.Millisecond); got != "3041 ms" {
+		t.Errorf("FmtMS = %q", got)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Fig. 11", "Service", "Docker", "K8s")
+	tb.AddRow("Nginx", "542 ms", "3041 ms")
+	tb.AddRow("Asm", "538 ms") // short row padded
+	out := tb.String()
+	if !strings.Contains(out, "Fig. 11") || !strings.Contains(out, "Service") {
+		t.Errorf("missing title/header:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Errorf("line count = %d:\n%s", len(lines), out)
+	}
+	// Columns aligned: every row has the same prefix width for col 2.
+	idx := strings.Index(lines[1], "Docker")
+	if !strings.HasPrefix(lines[3][idx:], "542 ms") {
+		t.Errorf("misaligned columns:\n%s", out)
+	}
+}
+
+func TestTableCSVQuoting(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	tb.AddRow(`with,comma`, `with"quote`)
+	csv := tb.CSV()
+	if !strings.Contains(csv, `"with,comma"`) || !strings.Contains(csv, `"with""quote"`) {
+		t.Errorf("CSV quoting wrong: %q", csv)
+	}
+}
+
+func TestHistogramRendering(t *testing.T) {
+	out := Histogram("Fig. 10", []int{8, 3, 0, 1}, time.Second, 0)
+	if !strings.Contains(out, "Fig. 10") {
+		t.Error("missing title")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Errorf("lines = %d:\n%s", len(lines), out)
+	}
+	// Peak bin has the longest bar.
+	if strings.Count(lines[1], "#") <= strings.Count(lines[2], "#") {
+		t.Errorf("bars not proportional:\n%s", out)
+	}
+	// Downsampling caps the row count.
+	big := make([]int, 300)
+	out = Histogram("t", big, time.Second, 30)
+	if got := len(strings.Split(strings.TrimRight(out, "\n"), "\n")); got > 32 {
+		t.Errorf("downsampled rows = %d", got)
+	}
+}
+
+// Property: the median lies between min and max and equals the sorted
+// middle element (nearest rank).
+func TestMedianProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		s := NewSeries("p")
+		vals := make([]time.Duration, len(raw))
+		for i, v := range raw {
+			vals[i] = time.Duration(v)
+			s.Add(vals[i])
+		}
+		sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+		med := s.Median()
+		if med < vals[0] || med > vals[len(vals)-1] {
+			return false
+		}
+		rank := int(0.5*float64(len(vals))+0.5) - 1
+		if rank < 0 {
+			rank = 0
+		}
+		return med == vals[rank]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

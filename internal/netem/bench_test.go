@@ -1,0 +1,105 @@
+package netem
+
+import (
+	"testing"
+	"time"
+
+	"github.com/c3lab/transparentedge/internal/vclock"
+)
+
+// BenchmarkRequestResponse measures one complete emulated exchange:
+// handshake, request, response, close.
+func BenchmarkRequestResponse(b *testing.B) {
+	clk := vclock.New()
+	clk.Run(func() {
+		n := NewNetwork(clk, 1)
+		a := n.NewHost("a", ParseIP("10.0.0.1"))
+		srv := n.NewHost("b", ParseIP("10.0.0.2"))
+		n.Connect(a.NIC(), srv.NIC(), LinkConfig{Latency: time.Millisecond})
+		ln, _ := srv.Listen(80)
+		clk.Go(func() {
+			for {
+				c, err := ln.Accept()
+				if err != nil {
+					return
+				}
+				clk.Go(func() {
+					for {
+						req, err := c.Recv()
+						if err != nil {
+							return
+						}
+						c.Send(req)
+					}
+				})
+			}
+		})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c, err := a.Dial(srv.Addr(80))
+			if err != nil {
+				b.Fatal(err)
+			}
+			c.Send([]byte("x"))
+			if _, err := c.Recv(); err != nil {
+				b.Fatal(err)
+			}
+			c.Close()
+		}
+	})
+}
+
+// BenchmarkPacketSwitchingFanIn measures link throughput with many
+// concurrent senders.
+func BenchmarkPacketSwitchingFanIn(b *testing.B) {
+	clk := vclock.New()
+	clk.Run(func() {
+		n := NewNetwork(clk, 1)
+		r := NewRouter(n, "r", 11)
+		srv := n.NewHost("srv", ParseIP("10.0.0.100"))
+		n.Connect(srv.NIC(), r.Port(10), LinkConfig{})
+		r.AddRoute(srv.IP(), r.Port(10))
+		var hosts []*Host
+		for i := 0; i < 10; i++ {
+			h := n.NewHost(string(rune('a'+i)), ParseIP("10.0.0.1")+IP(i))
+			n.Connect(h.NIC(), r.Port(i), LinkConfig{})
+			r.AddRoute(h.IP(), r.Port(i))
+			hosts = append(hosts, h)
+		}
+		ln, _ := srv.Listen(80)
+		clk.Go(func() {
+			for {
+				c, err := ln.Accept()
+				if err != nil {
+					return
+				}
+				clk.Go(func() {
+					for {
+						req, err := c.Recv()
+						if err != nil {
+							return
+						}
+						c.Send(req)
+					}
+				})
+			}
+		})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var g vclock.Group
+			for _, h := range hosts {
+				h := h
+				g.Go(clk, func() {
+					c, err := h.Dial(srv.Addr(80))
+					if err != nil {
+						return
+					}
+					c.Send([]byte("x"))
+					c.Recv()
+					c.Close()
+				})
+			}
+			g.Wait(clk)
+		}
+	})
+}

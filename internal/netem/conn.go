@@ -1,0 +1,374 @@
+package netem
+
+import (
+	"sync"
+	"time"
+
+	"github.com/c3lab/transparentedge/internal/vclock"
+)
+
+// Transport tuning. The SYN schedule mirrors conventional TCP initial
+// retransmission behaviour (1s, 2s, 4s, ...), which matters for the
+// on-demand-deployment experiments: a held first request must survive
+// multi-second deployment times.
+var (
+	synRetryBase = 1 * time.Second
+	synRetries   = 6
+	dataRTO      = 500 * time.Millisecond
+	dataRetries  = 6
+)
+
+type connState int
+
+const (
+	stateSynSent connState = iota
+	stateEstablished
+	stateClosed
+	stateFailed
+)
+
+// Conn is one reliable, message-oriented connection. Each Send transfers
+// one application message; the receiver gets messages in order via Recv.
+// Reliability is per message: positive acks, retransmission with
+// exponential backoff, duplicate suppression, and in-order delivery.
+type Conn struct {
+	host   *Host
+	local  HostPort
+	remote HostPort
+	client bool
+	connID uint64
+
+	established *vclock.Gate
+
+	mu       sync.Mutex
+	state    connState
+	failErr  error
+	synTries int
+	synTimer *vclock.Timer
+
+	sendSeq  uint32 // next message sequence to assign (1-based)
+	unacked  map[uint32]*pendingMsg
+	recvNext uint32 // next in-order message expected
+	recvBuf  map[uint32][]byte
+	inbox    *vclock.Mailbox[[]byte]
+
+	localClosed bool
+	peerClosed  bool
+}
+
+type pendingMsg struct {
+	pkt   *Packet
+	tries int
+	timer *vclock.Timer
+}
+
+func newConn(h *Host, local, remote HostPort, client bool) *Conn {
+	return &Conn{
+		host:        h,
+		local:       local,
+		remote:      remote,
+		client:      client,
+		connID:      h.net.nextConnID(),
+		established: vclock.NewGate(),
+		sendSeq:     1,
+		recvNext:    1,
+		unacked:     make(map[uint32]*pendingMsg),
+		recvBuf:     make(map[uint32][]byte),
+		inbox:       vclock.NewMailbox[[]byte](h.net.Clock),
+	}
+}
+
+// LocalAddr returns this side's endpoint.
+func (c *Conn) LocalAddr() HostPort { return c.local }
+
+// RemoteAddr returns the peer endpoint as seen by this side. Under
+// transparent redirection the client's view is the registered cloud
+// address even when an edge instance answers.
+func (c *Conn) RemoteAddr() HostPort { return c.remote }
+
+// startHandshake sends the first SYN and arms the retry schedule.
+func (c *Conn) startHandshake() {
+	c.mu.Lock()
+	c.synTries = 1
+	c.mu.Unlock()
+	c.transmit(&Packet{Src: c.local, Dst: c.remote, Flags: FlagSYN, ConnID: c.connID})
+	c.armSynTimer(synRetryBase)
+}
+
+func (c *Conn) armSynTimer(backoff time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.state != stateSynSent {
+		return
+	}
+	c.synTimer = c.host.net.Clock.AfterFunc(backoff, func() {
+		c.mu.Lock()
+		if c.state != stateSynSent {
+			c.mu.Unlock()
+			return
+		}
+		if c.synTries >= synRetries {
+			c.mu.Unlock()
+			c.fail(ErrTimeout)
+			return
+		}
+		c.synTries++
+		c.mu.Unlock()
+		c.transmit(&Packet{Src: c.local, Dst: c.remote, Flags: FlagSYN, ConnID: c.connID})
+		c.armSynTimer(backoff * 2)
+	})
+}
+
+func (c *Conn) sendSynAck() {
+	c.transmit(&Packet{Src: c.local, Dst: c.remote, Flags: FlagSYN | FlagACK, ConnID: c.connID})
+}
+
+// transmit hands a packet to the host's NIC.
+func (c *Conn) transmit(pkt *Packet) { c.host.send(pkt) }
+
+// handle processes one inbound packet addressed to this connection.
+func (c *Conn) handle(pkt *Packet) {
+	switch {
+	case pkt.Flags.Has(FlagRST):
+		c.mu.Lock()
+		inHandshake := c.state == stateSynSent
+		c.mu.Unlock()
+		if inHandshake {
+			c.fail(ErrRefused)
+		} else {
+			c.fail(ErrReset)
+		}
+
+	case pkt.Flags.Has(FlagSYN | FlagACK):
+		c.mu.Lock()
+		if c.state == stateSynSent {
+			c.state = stateEstablished
+			if c.synTimer != nil {
+				c.synTimer.Stop()
+			}
+		}
+		c.mu.Unlock()
+		c.established.Open()
+		// Ack completes the handshake; duplicates are harmless.
+		c.transmit(&Packet{Src: c.local, Dst: c.remote, Flags: FlagACK, ConnID: c.connID})
+
+	case pkt.Flags.Has(FlagSYN):
+		// Duplicate SYN from a client whose SYN-ACK was lost or delayed.
+		if !c.client {
+			c.sendSynAck()
+		}
+
+	case pkt.Flags.Has(FlagFIN):
+		c.mu.Lock()
+		already := c.peerClosed
+		c.peerClosed = true
+		c.mu.Unlock()
+		if !already {
+			c.inbox.Close()
+		}
+
+	case pkt.Flags.Has(FlagPSH):
+		c.handleData(pkt)
+
+	case pkt.Flags.Has(FlagACK):
+		c.handleAck(pkt)
+	}
+}
+
+func (c *Conn) handleData(pkt *Packet) {
+	// Always ack, even duplicates: the ack may have been lost.
+	c.transmit(&Packet{Src: c.local, Dst: c.remote, Flags: FlagACK, Ack: pkt.Seq, ConnID: c.connID})
+
+	c.mu.Lock()
+	if c.peerClosed || c.state == stateFailed || pkt.Seq < c.recvNext {
+		c.mu.Unlock()
+		return
+	}
+	if _, dup := c.recvBuf[pkt.Seq]; dup {
+		c.mu.Unlock()
+		return
+	}
+	c.recvBuf[pkt.Seq] = pkt.Payload
+	var ready [][]byte
+	for {
+		payload, ok := c.recvBuf[c.recvNext]
+		if !ok {
+			break
+		}
+		delete(c.recvBuf, c.recvNext)
+		c.recvNext++
+		ready = append(ready, payload)
+	}
+	c.mu.Unlock()
+	for _, payload := range ready {
+		c.inbox.Send(payload)
+	}
+}
+
+func (c *Conn) handleAck(pkt *Packet) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p, ok := c.unacked[pkt.Ack]
+	if !ok {
+		return
+	}
+	delete(c.unacked, pkt.Ack)
+	if p.timer != nil {
+		p.timer.Stop()
+	}
+}
+
+// Send transmits one application message reliably. It returns
+// immediately; delivery failures surface on a later Send/Recv as
+// ErrTimeout via connection failure.
+func (c *Conn) Send(payload []byte) error {
+	c.mu.Lock()
+	switch {
+	case c.state == stateFailed:
+		err := c.failErr
+		c.mu.Unlock()
+		return err
+	case c.localClosed || c.state == stateClosed:
+		c.mu.Unlock()
+		return ErrClosed
+	case c.state == stateSynSent:
+		c.mu.Unlock()
+		return ErrClosed
+	}
+	seq := c.sendSeq
+	c.sendSeq++
+	pkt := &Packet{Src: c.local, Dst: c.remote, Flags: FlagPSH, Seq: seq, Payload: payload, ConnID: c.connID}
+	p := &pendingMsg{pkt: pkt, tries: 1}
+	c.unacked[seq] = p
+	c.mu.Unlock()
+
+	c.transmit(pkt)
+	c.armDataTimer(p, dataRTO)
+	return nil
+}
+
+func (c *Conn) armDataTimer(p *pendingMsg, backoff time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, pending := c.unacked[p.pkt.Seq]; !pending || c.state == stateFailed {
+		return
+	}
+	p.timer = c.host.net.Clock.AfterFunc(backoff, func() {
+		c.mu.Lock()
+		if _, pending := c.unacked[p.pkt.Seq]; !pending || c.state == stateFailed {
+			c.mu.Unlock()
+			return
+		}
+		if p.tries >= dataRetries {
+			c.mu.Unlock()
+			c.fail(ErrTimeout)
+			return
+		}
+		p.tries++
+		c.mu.Unlock()
+		c.transmit(p.pkt)
+		c.armDataTimer(p, backoff*2)
+	})
+}
+
+// Recv returns the next in-order message. It returns ErrClosed once the
+// peer has finished sending, and the failure error if the connection
+// broke.
+func (c *Conn) Recv() ([]byte, error) {
+	payload, ok := c.inbox.Recv()
+	if !ok {
+		return nil, c.closeReason()
+	}
+	return payload, nil
+}
+
+// RecvTimeout is Recv with a deadline.
+func (c *Conn) RecvTimeout(d time.Duration) ([]byte, error) {
+	payload, ok := c.inbox.RecvTimeout(d)
+	if !ok {
+		c.mu.Lock()
+		broken := c.state == stateFailed || c.peerClosed
+		c.mu.Unlock()
+		if broken {
+			return nil, c.closeReason()
+		}
+		return nil, ErrTimeout
+	}
+	return payload, nil
+}
+
+func (c *Conn) closeReason() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.state == stateFailed {
+		return c.failErr
+	}
+	return ErrClosed
+}
+
+// Close sends FIN (best effort) and releases connection state.
+func (c *Conn) Close() {
+	c.mu.Lock()
+	if c.localClosed || c.state == stateFailed {
+		c.mu.Unlock()
+		return
+	}
+	c.localClosed = true
+	sendFin := c.state == stateEstablished
+	c.state = stateClosed
+	for _, p := range c.unacked {
+		if p.timer != nil {
+			p.timer.Stop()
+		}
+	}
+	c.mu.Unlock()
+	if sendFin {
+		c.transmit(&Packet{Src: c.local, Dst: c.remote, Flags: FlagFIN, ConnID: c.connID})
+	}
+	c.host.removeConn(c)
+}
+
+// Abort resets the connection immediately, notifying the peer with RST.
+func (c *Conn) Abort() {
+	c.transmit(&Packet{Src: c.local, Dst: c.remote, Flags: FlagRST, ConnID: c.connID})
+	c.fail(ErrReset)
+}
+
+// fail transitions to the failed state and wakes all waiters.
+func (c *Conn) fail(err error) {
+	c.mu.Lock()
+	if c.state == stateFailed {
+		c.mu.Unlock()
+		return
+	}
+	c.state = stateFailed
+	c.failErr = err
+	if c.synTimer != nil {
+		c.synTimer.Stop()
+	}
+	for _, p := range c.unacked {
+		if p.timer != nil {
+			p.timer.Stop()
+		}
+	}
+	c.mu.Unlock()
+	c.established.Open()
+	c.inbox.Close()
+	c.host.removeConn(c)
+}
+
+// Err returns the connection's failure error, or nil.
+func (c *Conn) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.failErr
+}
+
+// defunct reports whether the connection can never carry new traffic:
+// failed, locally closed, or the peer has finished sending. Hosts use
+// it to recognize tuple reuse by fresh SYNs.
+func (c *Conn) defunct() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.state == stateFailed || c.state == stateClosed || c.localClosed || c.peerClosed
+}

@@ -1,0 +1,126 @@
+package netem
+
+import (
+	"sync"
+	"time"
+
+	"github.com/c3lab/transparentedge/internal/vclock"
+)
+
+// Device is anything packets can be delivered to: a host NIC, a switch,
+// a router. HandlePacket runs on a clock goroutine and owns the packet.
+type Device interface {
+	DeviceName() string
+	// HandlePacket processes a packet arriving on in. in is nil for
+	// locally originated packets (loopback delivery).
+	HandlePacket(pkt *Packet, in *Port)
+}
+
+// Port is one attachment point of a device. A port is connected to at
+// most one link.
+type Port struct {
+	Dev  Device
+	ID   int
+	link *Link
+	peer *Port
+}
+
+// Peer returns the port at the other end of this port's link, or nil.
+func (p *Port) Peer() *Port { return p.peer }
+
+// Send transmits pkt out of this port onto the attached link. Packets
+// sent on an unconnected port are dropped.
+func (p *Port) Send(pkt *Packet) {
+	if p.link == nil {
+		return
+	}
+	p.link.transmit(pkt, p)
+}
+
+// LinkConfig describes one direction-symmetric link.
+type LinkConfig struct {
+	// Latency is the one-way propagation delay.
+	Latency time.Duration
+	// Bandwidth is the transmission rate in bytes per second; zero means
+	// infinitely fast (no serialization delay).
+	Bandwidth float64
+	// LossRate drops each packet independently with this probability.
+	LossRate float64
+}
+
+// GbpsToBytes converts gigabits per second to the bytes-per-second unit
+// LinkConfig.Bandwidth uses.
+func GbpsToBytes(gbps float64) float64 { return gbps * 1e9 / 8 }
+
+// Link joins two ports with latency, per-direction serialization, and
+// optional random loss.
+type Link struct {
+	clk vclock.Clock
+	rng *vclock.Rand
+	net *Network
+	cfg LinkConfig
+	a   *Port
+	b   *Port
+
+	mu sync.Mutex
+	// nextFree tracks, per transmit direction, when the transmitter
+	// finishes serializing the previous packet.
+	nextFreeA time.Time // for packets leaving a
+	nextFreeB time.Time // for packets leaving b
+
+	// stats
+	sentA, sentB int64
+	dropA, dropB int64
+}
+
+// transmit models serialization + propagation and schedules delivery of
+// a copy of pkt at the peer device.
+func (l *Link) transmit(pkt *Packet, from *Port) {
+	if l.net != nil {
+		l.net.capturePacket(pkt)
+	}
+	l.mu.Lock()
+	var nextFree *time.Time
+	var to *Port
+	if from == l.a {
+		nextFree, to = &l.nextFreeA, l.b
+		l.sentA++
+	} else {
+		nextFree, to = &l.nextFreeB, l.a
+		l.sentB++
+	}
+	if l.cfg.LossRate > 0 && l.rng.Float64() < l.cfg.LossRate {
+		if from == l.a {
+			l.dropA++
+		} else {
+			l.dropB++
+		}
+		l.mu.Unlock()
+		return
+	}
+	now := l.clk.Now()
+	start := now
+	if nextFree.After(start) {
+		start = *nextFree
+	}
+	txTime := time.Duration(0)
+	if l.cfg.Bandwidth > 0 {
+		txTime = time.Duration(float64(pkt.WireSize()) / l.cfg.Bandwidth * float64(time.Second))
+	}
+	end := start.Add(txTime)
+	*nextFree = end
+	deliverAt := end.Add(l.cfg.Latency)
+	l.mu.Unlock()
+
+	cp := pkt.Clone()
+	l.clk.AfterFunc(deliverAt.Sub(now), func() {
+		to.Dev.HandlePacket(cp, to)
+	})
+}
+
+// Stats reports packets sent and dropped in each direction (a→b, b→a).
+func (l *Link) Stats() (sentA, dropA, sentB, dropB int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.sentA, l.dropA, l.sentB, l.dropB
+}

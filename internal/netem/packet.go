@@ -1,0 +1,75 @@
+package netem
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TCPFlags carries the subset of TCP control bits the emulation models.
+type TCPFlags uint8
+
+// TCP control bits.
+const (
+	FlagSYN TCPFlags = 1 << iota
+	FlagACK
+	FlagFIN
+	FlagRST
+	FlagPSH
+)
+
+// Has reports whether all bits in f are set.
+func (t TCPFlags) Has(f TCPFlags) bool { return t&f == f }
+
+// String renders the flags like "SYN|ACK".
+func (t TCPFlags) String() string {
+	var parts []string
+	for _, e := range []struct {
+		f TCPFlags
+		s string
+	}{{FlagSYN, "SYN"}, {FlagACK, "ACK"}, {FlagFIN, "FIN"}, {FlagRST, "RST"}, {FlagPSH, "PSH"}} {
+		if t.Has(e.f) {
+			parts = append(parts, e.s)
+		}
+	}
+	if len(parts) == 0 {
+		return "-"
+	}
+	return strings.Join(parts, "|")
+}
+
+// headerOverhead is the modelled per-packet wire overhead
+// (Ethernet 14 + IPv4 20 + TCP 32 with options).
+const headerOverhead = 66
+
+// Packet is one TCP segment travelling through the emulated network.
+// Devices may rewrite the address fields in place on a copy they own;
+// links always hand each receiver its own copy.
+type Packet struct {
+	Src, Dst HostPort
+	Flags    TCPFlags
+	// Seq numbers messages within a connection (not bytes); the reliable
+	// transport delivers messages to the application in Seq order.
+	Seq uint32
+	// Ack acknowledges a message Seq when FlagACK is set on a bare ack.
+	Ack     uint32
+	Payload []byte
+	// ConnID tags all segments of one originating connection attempt.
+	// It is debugging/capture metadata only: forwarding and demux use
+	// the address fields, which rewrites may change.
+	ConnID uint64
+}
+
+// WireSize is the modelled size in bytes used for serialization delay.
+func (p *Packet) WireSize() int { return headerOverhead + len(p.Payload) }
+
+// Clone returns a deep copy; the payload slice is shared (treated as
+// immutable once sent).
+func (p *Packet) Clone() *Packet {
+	q := *p
+	return &q
+}
+
+// String renders a compact single-line description for logs and tests.
+func (p *Packet) String() string {
+	return fmt.Sprintf("%s>%s %s seq=%d ack=%d len=%d", p.Src, p.Dst, p.Flags, p.Seq, p.Ack, len(p.Payload))
+}

@@ -1,0 +1,86 @@
+package netem
+
+import (
+	"sync"
+	"time"
+)
+
+// Router is a plain L3 forwarding device with static host routes and an
+// optional default route. The evaluation topology uses it for the path
+// toward the emulated cloud; the interesting switching happens in the
+// OpenFlow switch, which implements Device separately.
+type Router struct {
+	name string
+
+	mu       sync.Mutex
+	ports    []*Port
+	routes   map[IP]*Port
+	fallback *Port
+	// ForwardDelay models lookup/queuing latency per forwarded packet.
+	ForwardDelay time.Duration
+	clockDelay   func(time.Duration, func())
+	dropped      int64
+}
+
+// NewRouter returns a router with n ports attached to net's clock.
+func NewRouter(n *Network, name string, ports int) *Router {
+	r := &Router{
+		name:   name,
+		routes: make(map[IP]*Port),
+	}
+	clk := n.Clock
+	r.clockDelay = func(d time.Duration, fn func()) {
+		if d <= 0 {
+			fn()
+			return
+		}
+		clk.AfterFunc(d, fn)
+	}
+	for i := 0; i < ports; i++ {
+		r.ports = append(r.ports, &Port{Dev: r, ID: i})
+	}
+	return r
+}
+
+// DeviceName implements Device.
+func (r *Router) DeviceName() string { return r.name }
+
+// Port returns the i-th port.
+func (r *Router) Port(i int) *Port { return r.ports[i] }
+
+// AddRoute directs traffic for ip out of the given port.
+func (r *Router) AddRoute(ip IP, out *Port) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.routes[ip] = out
+}
+
+// SetDefault directs traffic with no host route out of the given port.
+func (r *Router) SetDefault(out *Port) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.fallback = out
+}
+
+// HandlePacket implements Device.
+func (r *Router) HandlePacket(pkt *Packet, in *Port) {
+	r.mu.Lock()
+	out := r.routes[pkt.Dst.IP]
+	if out == nil {
+		out = r.fallback
+	}
+	if out == nil || out == in {
+		r.dropped++
+		r.mu.Unlock()
+		return
+	}
+	r.mu.Unlock()
+	r.clockDelay(r.ForwardDelay, func() { out.Send(pkt) })
+}
+
+// Dropped reports packets without a usable route.
+func (r *Router) Dropped() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}

@@ -1,0 +1,45 @@
+package openflow
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/c3lab/transparentedge/internal/netem"
+	"github.com/c3lab/transparentedge/internal/vclock"
+)
+
+// BenchmarkTableLookup measures the flow-table pipeline with a table of
+// per-client redirect pairs, the shape a loaded gNB carries.
+func BenchmarkTableLookup(b *testing.B) {
+	for _, tableSize := range []int{8, 64, 512} {
+		b.Run(fmt.Sprintf("flows=%d", tableSize), func(b *testing.B) {
+			clk := vclock.New()
+			clk.Run(func() {
+				n := netem.NewNetwork(clk, 1)
+				sw := NewSwitch(n, "sw", 2)
+				sw.CtrlLatency = 0
+				sink := &recorder{name: "sink"}
+				n.Connect(&netem.Port{Dev: sink}, sw.Port(1), netem.LinkConfig{})
+				for i := 0; i < tableSize; i++ {
+					sw.InstallFlow(FlowSpec{
+						Priority: 20,
+						Match: Match{
+							SrcIP:   netem.ParseIP("192.168.1.1") + netem.IP(i),
+							DstIP:   netem.ParseIP("203.0.113.1"),
+							DstPort: 80,
+						},
+						Actions: []Action{SetDstIP{netem.ParseIP("10.0.0.2")}, SetDstPort{20000}, Output{1}},
+					})
+				}
+				pkt := &netem.Packet{
+					Src: netem.HostPort{IP: netem.ParseIP("192.168.1.1") + netem.IP(tableSize/2), Port: 50000},
+					Dst: netem.ParseHostPort("203.0.113.1:80"),
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					sw.HandlePacket(pkt.Clone(), nil)
+				}
+			})
+		})
+	}
+}

@@ -1,0 +1,459 @@
+// Package openflow implements the OpenFlow-subset software switch the
+// transparent-access approach programs: priority flow tables matching on
+// the TCP 5-tuple, set-field rewrite actions, output actions, idle and
+// hard timeouts with FlowRemoved notifications, packet-in punting to the
+// controller, and packet-out re-injection.
+//
+// The switch is a netem.Device, so rewrites genuinely happen on the
+// packets of live connections — the client keeps talking to the
+// registered cloud address while an edge instance answers (Fig. 2 of
+// the paper).
+package openflow
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/c3lab/transparentedge/internal/netem"
+	"github.com/c3lab/transparentedge/internal/vclock"
+)
+
+// Match selects packets on the TCP 5-tuple; zero fields are wildcards.
+// InPort 0 is a wildcard (ports are numbered from 1).
+type Match struct {
+	InPort  int
+	SrcIP   netem.IP
+	DstIP   netem.IP
+	SrcPort uint16
+	DstPort uint16
+}
+
+// Covers reports whether the match selects pkt arriving on inPort.
+func (m Match) Covers(pkt *netem.Packet, inPort int) bool {
+	if m.InPort != 0 && m.InPort != inPort {
+		return false
+	}
+	if m.SrcIP != 0 && m.SrcIP != pkt.Src.IP {
+		return false
+	}
+	if m.DstIP != 0 && m.DstIP != pkt.Dst.IP {
+		return false
+	}
+	if m.SrcPort != 0 && m.SrcPort != pkt.Src.Port {
+		return false
+	}
+	if m.DstPort != 0 && m.DstPort != pkt.Dst.Port {
+		return false
+	}
+	return true
+}
+
+// String renders the match compactly for diagnostics.
+func (m Match) String() string {
+	return fmt.Sprintf("in=%d %s:%d>%s:%d", m.InPort, wild(m.SrcIP.String(), m.SrcIP == 0), m.SrcPort, wild(m.DstIP.String(), m.DstIP == 0), m.DstPort)
+}
+
+func wild(s string, isWild bool) string {
+	if isWild {
+		return "*"
+	}
+	return s
+}
+
+// Action is one instruction applied to a matching packet.
+type Action interface {
+	isAction()
+}
+
+// SetDstIP rewrites the destination address.
+type SetDstIP struct{ IP netem.IP }
+
+// SetDstPort rewrites the destination port.
+type SetDstPort struct{ Port uint16 }
+
+// SetSrcIP rewrites the source address.
+type SetSrcIP struct{ IP netem.IP }
+
+// SetSrcPort rewrites the source port.
+type SetSrcPort struct{ Port uint16 }
+
+// Output forwards the packet out of a specific port.
+type Output struct{ Port int }
+
+// OutputNormal forwards via the switch's L3 routing table — the
+// behaviour of unregistered traffic.
+type OutputNormal struct{}
+
+// OutputController punts the packet to the SDN controller (packet-in).
+type OutputController struct{}
+
+// Drop discards the packet.
+type Drop struct{}
+
+func (SetDstIP) isAction()         {}
+func (SetDstPort) isAction()       {}
+func (SetSrcIP) isAction()         {}
+func (SetSrcPort) isAction()       {}
+func (Output) isAction()           {}
+func (OutputNormal) isAction()     {}
+func (OutputController) isAction() {}
+func (Drop) isAction()             {}
+
+// FlowSpec describes one flow entry to install.
+type FlowSpec struct {
+	Priority int
+	Match    Match
+	Actions  []Action
+	// IdleTimeout evicts the entry after inactivity; 0 disables.
+	IdleTimeout time.Duration
+	// HardTimeout evicts the entry unconditionally; 0 disables.
+	HardTimeout time.Duration
+	// Cookie is opaque controller metadata echoed in FlowRemoved.
+	Cookie uint64
+}
+
+type flowEntry struct {
+	FlowSpec
+	seq      uint64
+	lastUsed time.Time
+	packets  int64
+	bytes    int64
+	removed  bool
+}
+
+// FlowRemoved notifies the controller of an evicted entry.
+type FlowRemoved struct {
+	Match  Match
+	Cookie uint64
+	// IdleTimeout is true for idle eviction, false for hard eviction or
+	// explicit deletion.
+	IdleTimeout bool
+}
+
+// PacketIn carries a punted packet to the controller. The switch keeps
+// no buffer: the controller owns the packet and can hold it while it
+// deploys a service, then re-inject it with PacketOut — the
+// "on-demand deployment with waiting" mechanism.
+type PacketIn struct {
+	Pkt    *netem.Packet
+	InPort int
+}
+
+// FlowStats is a snapshot of one entry's counters.
+type FlowStats struct {
+	Priority int
+	Match    Match
+	Cookie   uint64
+	Packets  int64
+	Bytes    int64
+}
+
+// Switch is one OpenFlow switch instance.
+type Switch struct {
+	name string
+	clk  vclock.Clock
+	// CtrlLatency is the control-channel one-way delay.
+	CtrlLatency time.Duration
+
+	mu        sync.Mutex
+	ports     []*netem.Port
+	routes    map[netem.IP]int
+	defRoute  int
+	table     []*flowEntry
+	seq       uint64
+	packetIns *vclock.Mailbox[PacketIn]
+	removals  *vclock.Mailbox[FlowRemoved]
+	connected bool
+
+	// counters
+	punted  int64
+	dropped int64
+	normal  int64
+}
+
+// NewSwitch creates a switch with n ports (numbered 1..n) on net's clock.
+func NewSwitch(net *netem.Network, name string, n int) *Switch {
+	s := &Switch{
+		name:        name,
+		clk:         net.Clock,
+		CtrlLatency: 2 * time.Millisecond,
+		routes:      make(map[netem.IP]int),
+		defRoute:    -1,
+		packetIns:   vclock.NewMailbox[PacketIn](net.Clock),
+		removals:    vclock.NewMailbox[FlowRemoved](net.Clock),
+	}
+	for i := 1; i <= n; i++ {
+		s.ports = append(s.ports, &netem.Port{Dev: s, ID: i})
+	}
+	return s
+}
+
+// DeviceName implements netem.Device.
+func (s *Switch) DeviceName() string { return s.name }
+
+// Port returns the port numbered i (1-based).
+func (s *Switch) Port(i int) *netem.Port {
+	return s.ports[i-1]
+}
+
+// AddRoute sets the NORMAL-forwarding route for a host address.
+func (s *Switch) AddRoute(ip netem.IP, port int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.routes[ip] = port
+}
+
+// SetDefaultRoute sets the NORMAL route for unknown destinations
+// (toward the cloud).
+func (s *Switch) SetDefaultRoute(port int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.defRoute = port
+}
+
+// Connect attaches the controller; punted packets and flow removals are
+// delivered on the returned mailboxes after the control-channel latency.
+func (s *Switch) Connect() (*vclock.Mailbox[PacketIn], *vclock.Mailbox[FlowRemoved]) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.connected = true
+	return s.packetIns, s.removals
+}
+
+// HandlePacket implements netem.Device: the flow table pipeline.
+func (s *Switch) HandlePacket(pkt *netem.Packet, in *netem.Port) {
+	inPort := 0
+	if in != nil {
+		inPort = in.ID
+	}
+	s.process(pkt, inPort)
+}
+
+// process looks up the table and applies the winning entry's actions,
+// falling back to NORMAL forwarding on a miss.
+func (s *Switch) process(pkt *netem.Packet, inPort int) {
+	s.mu.Lock()
+	var best *flowEntry
+	for _, e := range s.table {
+		if e.removed || !e.Match.Covers(pkt, inPort) {
+			continue
+		}
+		if best == nil || e.Priority > best.Priority ||
+			(e.Priority == best.Priority && e.seq < best.seq) {
+			best = e
+		}
+	}
+	if best == nil {
+		s.normal++
+		s.mu.Unlock()
+		s.forwardNormal(pkt)
+		return
+	}
+	best.lastUsed = s.clk.Now()
+	best.packets++
+	best.bytes += int64(pkt.WireSize())
+	actions := best.Actions
+	s.mu.Unlock()
+	s.apply(pkt, inPort, actions)
+}
+
+// apply executes an action list on pkt.
+func (s *Switch) apply(pkt *netem.Packet, inPort int, actions []Action) {
+	for _, a := range actions {
+		switch act := a.(type) {
+		case SetDstIP:
+			pkt.Dst.IP = act.IP
+		case SetDstPort:
+			pkt.Dst.Port = act.Port
+		case SetSrcIP:
+			pkt.Src.IP = act.IP
+		case SetSrcPort:
+			pkt.Src.Port = act.Port
+		case Output:
+			s.send(pkt, act.Port)
+			return
+		case OutputNormal:
+			s.forwardNormal(pkt)
+			return
+		case OutputController:
+			s.puntToController(pkt, inPort)
+			return
+		case Drop:
+			s.mu.Lock()
+			s.dropped++
+			s.mu.Unlock()
+			return
+		}
+	}
+	// An action list without an output terminates in a drop, per spec.
+	s.mu.Lock()
+	s.dropped++
+	s.mu.Unlock()
+}
+
+func (s *Switch) send(pkt *netem.Packet, port int) {
+	if port < 1 || port > len(s.ports) {
+		s.mu.Lock()
+		s.dropped++
+		s.mu.Unlock()
+		return
+	}
+	s.ports[port-1].Send(pkt)
+}
+
+func (s *Switch) forwardNormal(pkt *netem.Packet) {
+	s.mu.Lock()
+	port, ok := s.routes[pkt.Dst.IP]
+	if !ok {
+		port = s.defRoute
+	}
+	s.mu.Unlock()
+	if port < 1 {
+		s.mu.Lock()
+		s.dropped++
+		s.mu.Unlock()
+		return
+	}
+	s.send(pkt, port)
+}
+
+func (s *Switch) puntToController(pkt *netem.Packet, inPort int) {
+	s.mu.Lock()
+	connected := s.connected
+	s.punted++
+	s.mu.Unlock()
+	if !connected {
+		return
+	}
+	cp := pkt.Clone()
+	s.clk.AfterFunc(s.CtrlLatency, func() {
+		s.packetIns.Send(PacketIn{Pkt: cp, InPort: inPort})
+	})
+}
+
+// InstallFlow adds a flow entry (FlowMod ADD). The call models the
+// control-channel latency before the entry becomes active.
+func (s *Switch) InstallFlow(spec FlowSpec) {
+	s.clk.Sleep(s.CtrlLatency)
+	s.mu.Lock()
+	s.seq++
+	e := &flowEntry{FlowSpec: spec, seq: s.seq, lastUsed: s.clk.Now()}
+	s.table = append(s.table, e)
+	s.mu.Unlock()
+	if spec.IdleTimeout > 0 {
+		s.scheduleIdleCheck(e, spec.IdleTimeout)
+	}
+	if spec.HardTimeout > 0 {
+		s.clk.AfterFunc(spec.HardTimeout, func() {
+			s.evict(e, false)
+		})
+	}
+}
+
+// scheduleIdleCheck arms the idle-eviction timer after wait, re-arming
+// lazily when the entry has seen traffic within its idle timeout.
+func (s *Switch) scheduleIdleCheck(e *flowEntry, wait time.Duration) {
+	s.clk.AfterFunc(wait, func() {
+		s.mu.Lock()
+		if e.removed {
+			s.mu.Unlock()
+			return
+		}
+		silent := s.clk.Since(e.lastUsed)
+		s.mu.Unlock()
+		if silent >= e.IdleTimeout {
+			s.evict(e, true)
+			return
+		}
+		s.scheduleIdleCheck(e, e.IdleTimeout-silent)
+	})
+}
+
+// evict removes an entry and notifies the controller.
+func (s *Switch) evict(e *flowEntry, idle bool) {
+	s.mu.Lock()
+	if e.removed {
+		s.mu.Unlock()
+		return
+	}
+	e.removed = true
+	for i, cur := range s.table {
+		if cur == e {
+			s.table = append(s.table[:i:i], s.table[i+1:]...)
+			break
+		}
+	}
+	connected := s.connected
+	s.mu.Unlock()
+	if connected {
+		msg := FlowRemoved{Match: e.Match, Cookie: e.Cookie, IdleTimeout: idle}
+		s.clk.AfterFunc(s.CtrlLatency, func() {
+			s.removals.Send(msg)
+		})
+	}
+}
+
+// DeleteFlows removes all entries with the given cookie (FlowMod
+// DELETE); no FlowRemoved is generated for explicit deletion.
+func (s *Switch) DeleteFlows(cookie uint64) int {
+	s.clk.Sleep(s.CtrlLatency)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	kept := s.table[:0]
+	removed := 0
+	for _, e := range s.table {
+		if e.Cookie == cookie {
+			e.removed = true
+			removed++
+			continue
+		}
+		kept = append(kept, e)
+	}
+	s.table = kept
+	return removed
+}
+
+// PacketOut re-injects a packet held by the controller, applying the
+// given actions (typically after installing the redirect flows).
+func (s *Switch) PacketOut(pkt *netem.Packet, inPort int, actions []Action) {
+	s.clk.Sleep(s.CtrlLatency)
+	if len(actions) == 0 {
+		// OFPP_TABLE: run the packet through the pipeline again.
+		s.process(pkt.Clone(), inPort)
+		return
+	}
+	s.apply(pkt.Clone(), inPort, actions)
+}
+
+// Flows returns a snapshot of the table sorted by priority then install
+// order.
+func (s *Switch) Flows() []FlowStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]FlowStats, 0, len(s.table))
+	for _, e := range s.table {
+		out = append(out, FlowStats{
+			Priority: e.Priority,
+			Match:    e.Match,
+			Cookie:   e.Cookie,
+			Packets:  e.packets,
+			Bytes:    e.bytes,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Priority != out[j].Priority {
+			return out[i].Priority > out[j].Priority
+		}
+		return out[i].Match.String() < out[j].Match.String()
+	})
+	return out
+}
+
+// Counters reports punted, dropped, and NORMAL-forwarded packet counts.
+func (s *Switch) Counters() (punted, dropped, normal int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.punted, s.dropped, s.normal
+}

@@ -1,0 +1,71 @@
+package pcap
+
+import (
+	"io"
+	"sync"
+	"time"
+
+	"github.com/c3lab/transparentedge/internal/netem"
+)
+
+// SegmentFromPacket converts an emulated packet into a decodable TCP
+// segment with equivalent header fields. The emulated reliable
+// transport numbers messages rather than bytes; Seq/Ack carry those
+// message numbers verbatim, which is what offline analysis of the
+// capture needs.
+func SegmentFromPacket(p *netem.Packet) *TCPSegment {
+	return &TCPSegment{
+		Src:     p.Src,
+		Dst:     p.Dst,
+		Seq:     p.Seq,
+		Ack:     p.Ack,
+		SYN:     p.Flags.Has(netem.FlagSYN),
+		ACK:     p.Flags.Has(netem.FlagACK),
+		FIN:     p.Flags.Has(netem.FlagFIN),
+		RST:     p.Flags.Has(netem.FlagRST),
+		PSH:     p.Flags.Has(netem.FlagPSH),
+		Payload: p.Payload,
+	}
+}
+
+// LiveCapture writes emulated traffic to a pcap stream as it happens:
+// plug its Tap into netem.Network.SetCapture and every packet entering
+// a link lands in the file, Wireshark-ready.
+type LiveCapture struct {
+	mu      sync.Mutex
+	w       *Writer
+	packets int64
+	err     error
+}
+
+// NewLiveCapture returns a capture sink writing to w.
+func NewLiveCapture(w io.Writer) *LiveCapture {
+	return &LiveCapture{w: NewWriter(w)}
+}
+
+// Tap implements netem.CaptureFunc.
+func (lc *LiveCapture) Tap(ts time.Time, pkt *netem.Packet) {
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	if lc.err != nil {
+		return
+	}
+	lc.err = lc.w.WritePacket(ts, EncodeTCP(SegmentFromPacket(pkt)))
+	if lc.err == nil {
+		lc.packets++
+	}
+}
+
+// Packets reports how many packets were written.
+func (lc *LiveCapture) Packets() int64 {
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	return lc.packets
+}
+
+// Err reports the first write error, if any.
+func (lc *LiveCapture) Err() error {
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	return lc.err
+}

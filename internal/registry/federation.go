@@ -1,0 +1,72 @@
+package registry
+
+import (
+	"sort"
+	"strings"
+	"time"
+)
+
+// Remote is the pull-side view of an image source: what containerd
+// needs to fetch a manifest and its layers.
+type Remote interface {
+	// Name labels the source in results.
+	Name() string
+	// FetchManifest resolves a reference (auth + manifest round trip).
+	FetchManifest(ref string) (Image, error)
+	// DownloadLayersFor transfers the given layers of ref, blocking for
+	// the modelled time, which it also returns. The reference selects
+	// the backing registry in federated setups.
+	DownloadLayersFor(ref string, layers []Layer) time.Duration
+}
+
+// Name implements Remote.
+func (r *Registry) Name() string { return r.profile.Name }
+
+// DownloadLayersFor implements Remote; a single registry ignores the
+// reference.
+func (r *Registry) DownloadLayersFor(ref string, layers []Layer) time.Duration {
+	return r.DownloadLayers(layers)
+}
+
+// Federation routes pulls to different registries by reference prefix —
+// the evaluation pulls Nginx from Docker Hub but ResNet from
+// "gcr.io/...", exactly as a containerd resolver does.
+type Federation struct {
+	// Default serves references matching no route.
+	Default Remote
+	// Routes maps reference prefixes (e.g. "gcr.io/") to registries.
+	Routes map[string]Remote
+}
+
+// Name implements Remote.
+func (f *Federation) Name() string { return "federation" }
+
+// route picks the registry for a reference: longest matching prefix.
+func (f *Federation) route(ref string) Remote {
+	var best Remote
+	bestLen := -1
+	prefixes := make([]string, 0, len(f.Routes))
+	for p := range f.Routes {
+		prefixes = append(prefixes, p)
+	}
+	sort.Strings(prefixes)
+	for _, p := range prefixes {
+		if strings.HasPrefix(ref, p) && len(p) > bestLen {
+			best, bestLen = f.Routes[p], len(p)
+		}
+	}
+	if best == nil {
+		return f.Default
+	}
+	return best
+}
+
+// FetchManifest implements Remote.
+func (f *Federation) FetchManifest(ref string) (Image, error) {
+	return f.route(ref).FetchManifest(ref)
+}
+
+// DownloadLayersFor implements Remote, routing by the reference.
+func (f *Federation) DownloadLayersFor(ref string, layers []Layer) time.Duration {
+	return f.route(ref).DownloadLayersFor(ref, layers)
+}

@@ -1,0 +1,96 @@
+package registry
+
+import (
+	"testing"
+	"time"
+
+	"github.com/c3lab/transparentedge/internal/vclock"
+)
+
+func TestFederationRoutesByPrefix(t *testing.T) {
+	clk := vclock.New()
+	clk.Run(func() {
+		hub := New(clk, 1, DockerHub())
+		gcr := New(clk, 2, GCR())
+		hub.Push(testImage("nginx:1.23.2", MiB))
+		gcr.Push(testImage("gcr.io/tensorflow-serving/resnet", MiB))
+		fed := &Federation{Default: hub, Routes: map[string]Remote{"gcr.io/": gcr}}
+
+		if fed.Name() != "federation" {
+			t.Errorf("Name = %q", fed.Name())
+		}
+		if _, err := fed.FetchManifest("nginx:1.23.2"); err != nil {
+			t.Errorf("default route: %v", err)
+		}
+		if _, err := fed.FetchManifest("gcr.io/tensorflow-serving/resnet"); err != nil {
+			t.Errorf("gcr route: %v", err)
+		}
+		// An image only on GCR must NOT resolve through the default.
+		if _, err := fed.FetchManifest("gcr.io/only-here"); err == nil {
+			t.Error("missing gcr image resolved via wrong route")
+		}
+		// Layer downloads follow the same routing.
+		im, _ := gcr.FetchManifest("gcr.io/tensorflow-serving/resnet")
+		if d := fed.DownloadLayersFor("gcr.io/tensorflow-serving/resnet", im.Layers); d <= 0 {
+			t.Error("routed layer download took no time")
+		}
+	})
+}
+
+func TestFederationLongestPrefixWins(t *testing.T) {
+	clk := vclock.New()
+	clk.Run(func() {
+		a := New(clk, 1, Private())
+		b := New(clk, 2, Private())
+		c := New(clk, 3, Private())
+		a.Push(testImage("reg.example/team/app", KiB))
+		b.Push(testImage("reg.example/team/app", KiB))
+		c.Push(testImage("reg.example/team/app", KiB))
+		fed := &Federation{
+			Default: a,
+			Routes: map[string]Remote{
+				"reg.example/":      b,
+				"reg.example/team/": c,
+			},
+		}
+		if got := fed.route("reg.example/team/app"); got != Remote(c) {
+			t.Errorf("route = %v, want the longest prefix", got.Name())
+		}
+		if got := fed.route("reg.example/other"); got != Remote(b) {
+			t.Error("shorter prefix not used")
+		}
+		if got := fed.route("docker.io/x"); got != Remote(a) {
+			t.Error("default not used")
+		}
+	})
+}
+
+func TestEstimatePullEmptyLayers(t *testing.T) {
+	clk := vclock.New()
+	clk.Run(func() {
+		r := New(clk, 1, Private())
+		est := r.EstimatePull(nil)
+		p := r.Profile()
+		if est != p.AuthTime+p.RTT {
+			t.Errorf("empty estimate = %v, want auth+rtt", est)
+		}
+	})
+}
+
+func TestProfileZeroParallelTreatedAsOne(t *testing.T) {
+	clk := vclock.New()
+	clk.Run(func() {
+		p := Private()
+		p.MaxParallelLayers = 0
+		p.JitterFrac = 0
+		r := New(clk, 1, p)
+		layers := []Layer{{Digest: "a", Size: MiB}, {Digest: "b", Size: MiB}}
+		// Two layers, one at a time: two waves of fixed overhead.
+		want := 2*(p.PerLayerOverhead+p.RTT) + time.Duration(float64(2*MiB)/p.Bandwidth*float64(time.Second))
+		start := clk.Now()
+		r.DownloadLayers(layers)
+		if got := clk.Since(start); got != want {
+			t.Errorf("serial download = %v, want %v", got, want)
+		}
+	})
+}

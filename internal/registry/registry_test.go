@@ -1,0 +1,226 @@
+package registry
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/c3lab/transparentedge/internal/vclock"
+)
+
+func testImage(name string, layerSizes ...int64) Image {
+	im := Image{Ref: name}
+	for i, s := range layerSizes {
+		im.Layers = append(im.Layers, Layer{Digest: LayerDigest(name, i), Size: s})
+	}
+	return im
+}
+
+func TestImageTotalSize(t *testing.T) {
+	im := testImage("a", 100, 200, 300)
+	if im.TotalSize() != 600 {
+		t.Errorf("TotalSize = %d, want 600", im.TotalSize())
+	}
+	if (Image{}).TotalSize() != 0 {
+		t.Error("empty image has nonzero size")
+	}
+}
+
+func TestLayerDigestStableAndDistinct(t *testing.T) {
+	if LayerDigest("nginx", 0) != LayerDigest("nginx", 0) {
+		t.Error("digest not stable")
+	}
+	if LayerDigest("nginx", 0) == LayerDigest("nginx", 1) {
+		t.Error("different indices collide")
+	}
+	if LayerDigest("nginx", 0) == LayerDigest("python", 0) {
+		t.Error("different names collide")
+	}
+	if !strings.HasPrefix(string(LayerDigest("x", 0)), "sha256:") {
+		t.Error("digest missing sha256 prefix")
+	}
+}
+
+func TestPushAndResolve(t *testing.T) {
+	clk := vclock.New()
+	clk.Run(func() {
+		r := New(clk, 1, Private())
+		im := testImage("nginx:1.23.2", 10*MiB)
+		r.Push(im)
+		if !r.Has("nginx:1.23.2") {
+			t.Error("Has = false after Push")
+		}
+		got, err := r.FetchManifest("nginx:1.23.2")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Ref != im.Ref || len(got.Layers) != 1 {
+			t.Errorf("manifest = %+v", got)
+		}
+	})
+}
+
+func TestFetchManifestMissing(t *testing.T) {
+	clk := vclock.New()
+	clk.Run(func() {
+		r := New(clk, 1, Private())
+		if _, err := r.FetchManifest("nope"); err == nil {
+			t.Error("missing manifest resolved")
+		}
+	})
+}
+
+func TestManifestFetchCostsAuthPlusRTT(t *testing.T) {
+	clk := vclock.New()
+	clk.Run(func() {
+		p := DockerHub()
+		p.JitterFrac = 0
+		r := New(clk, 1, p)
+		r.Push(testImage("a", MiB))
+		start := clk.Now()
+		r.FetchManifest("a")
+		if d := clk.Since(start); d != p.AuthTime+p.RTT {
+			t.Errorf("manifest fetch took %v, want %v", d, p.AuthTime+p.RTT)
+		}
+	})
+}
+
+func TestDownloadTimeScalesWithSize(t *testing.T) {
+	clk := vclock.New()
+	clk.Run(func() {
+		p := DockerHub()
+		p.JitterFrac = 0
+		r := New(clk, 1, p)
+		small := testImage("small", 1*MiB)
+		large := testImage("large", 300*MiB)
+		start := clk.Now()
+		r.DownloadLayers(small.Layers)
+		smallTime := clk.Since(start)
+		start = clk.Now()
+		r.DownloadLayers(large.Layers)
+		largeTime := clk.Since(start)
+		if largeTime <= smallTime {
+			t.Errorf("300MiB (%v) not slower than 1MiB (%v)", largeTime, smallTime)
+		}
+		// 300 MiB at 75 MiB/s ≈ 4s of pure transfer.
+		if largeTime < 3500*time.Millisecond || largeTime > 5*time.Second {
+			t.Errorf("300MiB download = %v, want ≈4.3s", largeTime)
+		}
+	})
+}
+
+func TestLayerCountCostsWaves(t *testing.T) {
+	clk := vclock.New()
+	clk.Run(func() {
+		p := DockerHub()
+		p.JitterFrac = 0
+		r := New(clk, 1, p)
+		// Same bytes split into 1 vs 9 layers: 9 layers need 3 waves.
+		one := []Layer{{Digest: "sha256:x", Size: 90 * MiB}}
+		var nine []Layer
+		for i := 0; i < 9; i++ {
+			nine = append(nine, Layer{Digest: LayerDigest("n", i), Size: 10 * MiB})
+		}
+		start := clk.Now()
+		r.DownloadLayers(one)
+		oneTime := clk.Since(start)
+		start = clk.Now()
+		r.DownloadLayers(nine)
+		nineTime := clk.Since(start)
+		wave := p.PerLayerOverhead + p.RTT
+		if got, want := nineTime-oneTime, 2*wave; got != want {
+			t.Errorf("9-layer penalty = %v, want %v (2 extra waves)", got, want)
+		}
+	})
+}
+
+func TestDownloadNothingIsFree(t *testing.T) {
+	clk := vclock.New()
+	clk.Run(func() {
+		r := New(clk, 1, DockerHub())
+		start := clk.Now()
+		if d := r.DownloadLayers(nil); d != 0 {
+			t.Errorf("empty download reported %v", d)
+		}
+		if clk.Since(start) != 0 {
+			t.Error("empty download advanced time")
+		}
+	})
+}
+
+func TestPrivateRegistryFaster(t *testing.T) {
+	clk := vclock.New()
+	clk.Run(func() {
+		nginx := testImage("nginx", 30*MiB, 25*MiB, 25*MiB, 25*MiB, 20*MiB, 10*MiB)
+
+		pull := func(p Profile) time.Duration {
+			p.JitterFrac = 0
+			r := New(clk, 1, p)
+			r.Push(nginx)
+			start := clk.Now()
+			if _, err := r.FetchManifest(nginx.Ref); err != nil {
+				t.Fatal(err)
+			}
+			r.DownloadLayers(nginx.Layers)
+			return clk.Since(start)
+		}
+		hub := pull(DockerHub())
+		private := pull(Private())
+		saved := hub - private
+		// Paper: pulls from the private registry improve by ≈1.5–2s.
+		if saved < 1200*time.Millisecond || saved > 3*time.Second {
+			t.Errorf("private registry saves %v (hub %v, private %v), want ≈1.5–2s", saved, hub, private)
+		}
+	})
+}
+
+func TestEstimateMatchesBlockingPull(t *testing.T) {
+	clk := vclock.New()
+	clk.Run(func() {
+		p := GCR()
+		p.JitterFrac = 0
+		r := New(clk, 1, p)
+		im := testImage("resnet", 100*MiB, 100*MiB, 108*MiB)
+		r.Push(im)
+		est := r.EstimatePull(im.Layers)
+		start := clk.Now()
+		r.FetchManifest(im.Ref)
+		r.DownloadLayers(im.Layers)
+		actual := clk.Since(start)
+		if est != actual {
+			t.Errorf("estimate %v != actual %v with zero jitter", est, actual)
+		}
+	})
+}
+
+// Property: download time is monotone in both byte size and layer count.
+func TestDownloadMonotonicityProperty(t *testing.T) {
+	f := func(sizeA, sizeB uint32, layersA, layersB uint8) bool {
+		la, lb := int(layersA%12)+1, int(layersB%12)+1
+		sa, sb := int64(sizeA%1000)*MiB/10, int64(sizeB%1000)*MiB/10
+		p := DockerHub()
+		p.JitterFrac = 0
+		clk := vclock.New()
+		ok := true
+		clk.Run(func() {
+			r := New(clk, 1, p)
+			mk := func(n int, total int64) []Layer {
+				var ls []Layer
+				for i := 0; i < n; i++ {
+					ls = append(ls, Layer{Digest: LayerDigest("p", i), Size: total / int64(n)})
+				}
+				return ls
+			}
+			da := r.EstimatePull(mk(la, sa))
+			db := r.EstimatePull(mk(lb, sb))
+			if sa <= sb && la <= lb && da > db {
+				ok = false
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,154 @@
+package testbed
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/c3lab/transparentedge/internal/catalog"
+	"github.com/c3lab/transparentedge/internal/trace"
+	"github.com/c3lab/transparentedge/internal/vclock"
+)
+
+// TestServerlessOnDemandMilliseconds deploys a WebAssembly service
+// through the unchanged transparent-access pipeline: the first request
+// completes in tens of milliseconds instead of ≈0.5 s — the outcome the
+// paper's future work hypothesizes (citing the Wasm cold-start
+// literature).
+func TestServerlessOnDemandMilliseconds(t *testing.T) {
+	clk := vclock.New()
+	clk.Run(func() {
+		tb := build(t, clk, Options{WithFaas: true, WithDocker: true, Seed: 50})
+		wasm, err := catalog.WasmService("nginx")
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, err := tb.RegisterCatalogService(wasm, trace.ServiceAddr(0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tb.PrePull(h, "edge-faas"); err != nil {
+			t.Fatal(err)
+		}
+		res, err := tb.Request(0, h)
+		if err != nil {
+			t.Fatalf("serverless on-demand request: %v", err)
+		}
+		// First request, module compiled: instantiate (≈4 ms) + probe +
+		// handshake — far below the container path.
+		if res.Total > 120*time.Millisecond {
+			t.Errorf("wasm first request = %v, want tens of ms", res.Total)
+		}
+		if !strings.Contains(string(res.Response), "nginx") {
+			t.Errorf("response = %q", res.Response[:16])
+		}
+		if len(tb.Faas.Instances(h.Svc.Name)) != 1 {
+			t.Error("no serverless instance running")
+		}
+	})
+}
+
+// TestSideBySideContainersAndServerless registers one containerized and
+// one serverless service under different addresses; the same controller
+// dispatches both, picking the right cluster for each.
+func TestSideBySideContainersAndServerless(t *testing.T) {
+	clk := vclock.New()
+	clk.Run(func() {
+		tb := build(t, clk, Options{WithFaas: true, WithDocker: true, Seed: 51})
+		// The faas cluster is "closest", so only register the container
+		// service where the wasm runtime cannot host it (multi-container
+		// specs are rejected by the faas cluster and the proximity
+		// scheduler falls through to Docker).
+		nginxpy := mustService(t, "nginxpy")
+		containerH, err := tb.RegisterCatalogService(nginxpy, trace.ServiceAddr(0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		tb.PrePull(containerH, "edge-docker")
+
+		wasm, _ := catalog.WasmService("asm")
+		wasmH, err := tb.RegisterCatalogService(wasm, trace.ServiceAddr(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		tb.PrePull(wasmH, "edge-faas")
+
+		wres, err := tb.Request(0, wasmH)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(tb.Faas.Instances(wasmH.Svc.Name)) != 1 {
+			t.Error("wasm service not on the serverless runtime")
+		}
+		if wres.Total > 120*time.Millisecond {
+			t.Errorf("wasm request = %v", wres.Total)
+		}
+	})
+}
+
+// TestFaasScaleDownOnIdle ties the serverless cluster into the idle
+// scale-down loop: isolates are cheap to kill and recreate.
+func TestFaasScaleDownOnIdle(t *testing.T) {
+	clk := vclock.New()
+	clk.Run(func() {
+		tb := build(t, clk, Options{
+			WithFaas:       true,
+			WithDocker:     true,
+			SwitchFlowIdle: 2 * time.Second,
+			MemoryIdle:     8 * time.Second,
+			ScaleDownIdle:  true,
+			Seed:           52,
+		})
+		wasm, _ := catalog.WasmService("asm")
+		h, _ := tb.RegisterCatalogService(wasm, trace.ServiceAddr(0))
+		tb.PrePull(h, "edge-faas")
+		if _, err := tb.Request(0, h); err != nil {
+			t.Fatal(err)
+		}
+		clk.Sleep(time.Minute)
+		if len(tb.Faas.Instances(h.Svc.Name)) != 0 {
+			t.Error("idle isolate survives")
+		}
+		// Re-deployment is nearly free.
+		res, err := tb.Request(0, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Total > 120*time.Millisecond {
+			t.Errorf("wasm redeploy = %v", res.Total)
+		}
+	})
+}
+
+// TestWasmCatalogVariants checks the serverless catalog derivation.
+func TestWasmCatalogVariants(t *testing.T) {
+	for _, key := range []string{"asm", "nginx", "resnet"} {
+		s, err := catalog.WasmService(key)
+		if err != nil {
+			t.Fatalf("%s: %v", key, err)
+		}
+		base, _ := catalog.ByKey(key)
+		// Modules are much smaller than the layered images — except for
+		// Asm, whose container is itself a 6 KiB binary.
+		if key != "asm" && s.TotalImageBytes() >= base.TotalImageBytes()/5 {
+			t.Errorf("%s module (%d B) not ≪ image (%d B)", key, s.TotalImageBytes(), base.TotalImageBytes())
+		}
+		if s.HTTPMethod != base.HTTPMethod || s.RequestPayload != base.RequestPayload {
+			t.Errorf("%s wasm variant changed the client workload", key)
+		}
+		if _, err := catalog.WasmResolver().Resolve(catalog.WasmModuleRef(key)); err != nil {
+			t.Errorf("%s module unresolvable: %v", key, err)
+		}
+	}
+	// Multi-container services have no serverless variant.
+	if _, err := catalog.WasmService("nginxpy"); err == nil {
+		t.Error("nginxpy wasm variant accepted")
+	}
+	// The combined resolver covers both worlds.
+	if _, err := (catalog.CombinedResolver{}).Resolve(catalog.ImageNginx); err != nil {
+		t.Error("combined resolver lost containers")
+	}
+	if _, err := (catalog.CombinedResolver{}).Resolve(catalog.WasmModuleRef("asm")); err != nil {
+		t.Error("combined resolver lost modules")
+	}
+}

@@ -1,0 +1,135 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"github.com/c3lab/transparentedge/internal/netem"
+	"github.com/c3lab/transparentedge/internal/pcap"
+	"github.com/c3lab/transparentedge/internal/vclock"
+)
+
+// WritePcap renders the workload as a classic .pcap capture starting at
+// start: one full TCP conversation per request, plus the noise traffic
+// (below-threshold services, non-port-80 conversations) that the paper's
+// filter has to discard. Packets are written in timestamp order.
+func (t *Trace) WritePcap(w io.Writer, start time.Time) error {
+	rng := vclock.NewRand(t.Config.Seed + 1)
+	type stamped struct {
+		ts    time.Time
+		frame []byte
+	}
+	var frames []stamped
+
+	emitConversation := func(at time.Time, client netem.HostPort, server netem.HostPort, reqLen, respLen int) {
+		steps := []struct {
+			dt  time.Duration
+			seg pcap.TCPSegment
+		}{
+			{0, pcap.TCPSegment{Src: client, Dst: server, SYN: true}},
+			{1 * time.Millisecond, pcap.TCPSegment{Src: server, Dst: client, SYN: true, ACK: true}},
+			{2 * time.Millisecond, pcap.TCPSegment{Src: client, Dst: server, ACK: true}},
+			{2500 * time.Microsecond, pcap.TCPSegment{Src: client, Dst: server, PSH: true, ACK: true, Payload: make([]byte, reqLen)}},
+			{5 * time.Millisecond, pcap.TCPSegment{Src: server, Dst: client, PSH: true, ACK: true, Payload: make([]byte, respLen)}},
+			{6 * time.Millisecond, pcap.TCPSegment{Src: client, Dst: server, FIN: true, ACK: true}},
+		}
+		for _, s := range steps {
+			seg := s.seg
+			frames = append(frames, stamped{ts: at.Add(s.dt), frame: pcap.EncodeTCP(&seg)})
+		}
+	}
+
+	ephemeral := make(map[netem.IP]uint16)
+	nextPort := func(ip netem.IP) uint16 {
+		p, ok := ephemeral[ip]
+		if !ok {
+			p = 40000
+		}
+		ephemeral[ip] = p + 1
+		return p
+	}
+
+	// Hot-service requests.
+	for _, r := range t.Requests {
+		clientIP := ClientAddr(r.Client)
+		client := netem.HostPort{IP: clientIP, Port: nextPort(clientIP)}
+		emitConversation(start.Add(r.At), client, ServiceAddr(r.Service), 100+rng.Intn(200), 500+rng.Intn(4000))
+	}
+	// Below-threshold noise services on port 80.
+	for s := 0; s < t.Config.NoiseServices; s++ {
+		server := netem.HostPort{IP: noiseServiceBase + netem.IP(s) + 1, Port: 80}
+		for k := 0; k < t.Config.NoiseRequestsEach; k++ {
+			clientIP := ClientAddr(rng.Intn(t.Config.Clients))
+			client := netem.HostPort{IP: clientIP, Port: nextPort(clientIP)}
+			at := start.Add(time.Duration(rng.Float64() * float64(t.Config.Duration)))
+			emitConversation(at, client, server, 100, 1000)
+		}
+	}
+	// Non-HTTP conversations the port filter must drop.
+	for k := 0; k < t.Config.NonHTTPConversations; k++ {
+		server := netem.HostPort{IP: hotServiceBase + netem.IP(rng.Intn(t.Config.HotServices)) + 1, Port: 443}
+		clientIP := ClientAddr(rng.Intn(t.Config.Clients))
+		client := netem.HostPort{IP: clientIP, Port: nextPort(clientIP)}
+		at := start.Add(time.Duration(rng.Float64() * float64(t.Config.Duration)))
+		emitConversation(at, client, server, 200, 2000)
+	}
+
+	sort.SliceStable(frames, func(i, j int) bool { return frames[i].ts.Before(frames[j].ts) })
+	pw := pcap.NewWriter(w)
+	for _, f := range frames {
+		if err := pw.WritePacket(f.ts, f.frame); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FromPcap recovers a workload from a capture by applying the paper's
+// methodology: extract TCP conversations, keep port 80, keep servers
+// with at least minRequests requests. Services are indexed by descending
+// request count. Client indices are recovered from the client address
+// block; foreign clients map to index 0.
+func FromPcap(r io.Reader, duration time.Duration, minRequests int) (*Trace, error) {
+	convs, err := pcap.ExtractConversations(pcap.NewReader(r))
+	if err != nil {
+		return nil, err
+	}
+	if len(convs) == 0 {
+		return nil, fmt.Errorf("trace: capture contains no conversations")
+	}
+	captureStart := convs[0].Start
+	services := pcap.ServiceRequests(pcap.FilterServerPort(convs, 80), minRequests)
+
+	tr := &Trace{
+		Config: Config{
+			Duration:      duration,
+			HotServices:   len(services),
+			MinPerService: minRequests,
+		},
+		Counts: make([]int, len(services)),
+	}
+	for idx, svc := range services {
+		tr.Counts[idx] = len(svc.Requests)
+		for _, conv := range svc.Requests {
+			client := 0
+			if conv.Client.IP > clientBase && conv.Client.IP <= clientBase+255 {
+				client = int(conv.Client.IP - clientBase - 10)
+			}
+			tr.Requests = append(tr.Requests, Request{
+				At:      conv.Start.Sub(captureStart),
+				Service: idx,
+				Client:  client,
+			})
+		}
+	}
+	sort.Slice(tr.Requests, func(i, j int) bool {
+		if tr.Requests[i].At != tr.Requests[j].At {
+			return tr.Requests[i].At < tr.Requests[j].At
+		}
+		return tr.Requests[i].Service < tr.Requests[j].Service
+	})
+	tr.Config.TotalRequests = len(tr.Requests)
+	return tr, nil
+}

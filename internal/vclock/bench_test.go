@@ -1,0 +1,61 @@
+package vclock
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkTimerThroughput measures raw event-scheduling throughput —
+// the emulator's hot loop.
+func BenchmarkTimerThroughput(b *testing.B) {
+	v := New()
+	v.Run(func() {
+		for i := 0; i < b.N; i++ {
+			v.Sleep(time.Millisecond)
+		}
+	})
+}
+
+// BenchmarkMailboxRoundTrip measures one send/recv pair between two
+// tracked goroutines.
+func BenchmarkMailboxRoundTrip(b *testing.B) {
+	v := New()
+	v.Run(func() {
+		ping := NewMailbox[int](v)
+		pong := NewMailbox[int](v)
+		v.Go(func() {
+			for {
+				x, ok := ping.Recv()
+				if !ok {
+					return
+				}
+				pong.Send(x)
+			}
+		})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ping.Send(i)
+			pong.Recv()
+		}
+		b.StopTimer()
+		ping.Close()
+	})
+}
+
+// BenchmarkParallelSleepers measures the scheduler with many goroutines
+// parked at once (the shape of a testbed run).
+func BenchmarkParallelSleepers(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		v := New()
+		v.Run(func() {
+			var g Group
+			for j := 0; j < 100; j++ {
+				j := j
+				g.Go(v, func() {
+					v.Sleep(time.Duration(j) * time.Millisecond)
+				})
+			}
+			g.Wait(v)
+		})
+	}
+}

@@ -1,0 +1,53 @@
+// Package vclock provides the time substrate for the Transparent Edge
+// emulation: a deterministic virtual-time (discrete-event) clock and a
+// wall-clock implementation behind a common interface.
+//
+// All emulated components (network links, container runtimes, control
+// loops) sleep and schedule timers exclusively through a Clock. Under the
+// Virtual implementation, goroutines park when they wait and simulated
+// time jumps straight to the next pending event, so a five-minute
+// scenario completes in milliseconds of host time and produces identical
+// timings on every run.
+package vclock
+
+import "time"
+
+// Clock is the time source used by every emulated component.
+//
+// Goroutines that interact with a Virtual clock must be started through
+// Go (or wrapped by Run) so the scheduler can tell runnable goroutines
+// from parked ones; blocking through any primitive in this package
+// (Sleep, Mailbox, Cond, Gate) parks the goroutine correctly.
+type Clock interface {
+	// Now returns the current (virtual or wall) time.
+	Now() time.Time
+	// Sleep pauses the calling goroutine for d of clock time.
+	// Non-positive durations yield without advancing time.
+	Sleep(d time.Duration)
+	// AfterFunc schedules fn to run in its own tracked goroutine after d.
+	AfterFunc(d time.Duration, fn func()) *Timer
+	// Go starts fn in a goroutine tracked by this clock.
+	Go(fn func())
+	// Since returns the clock time elapsed since t.
+	Since(t time.Time) time.Duration
+
+	// newWaiter returns a park/unpark pair. wait parks the calling
+	// goroutine until wake is called (exactly once each). It backs the
+	// blocking primitives in this package and keeps the virtual
+	// scheduler's runnable count accurate.
+	newWaiter() (wait func(), wake func())
+}
+
+// A Timer represents a single scheduled call created by AfterFunc.
+type Timer struct {
+	stop func() bool
+}
+
+// Stop cancels the timer. It reports whether the call was prevented from
+// running; false means it already ran or was already stopped.
+func (t *Timer) Stop() bool {
+	if t == nil || t.stop == nil {
+		return false
+	}
+	return t.stop()
+}

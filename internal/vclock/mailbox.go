@@ -1,0 +1,152 @@
+package vclock
+
+import (
+	"sync"
+	"time"
+)
+
+// Mailbox is an unbounded FIFO queue whose blocking receive parks the
+// goroutine in a clock-aware way. It is the channel replacement for
+// emulated components: packet queues, controller message queues, watch
+// streams.
+type Mailbox[T any] struct {
+	clk     Clock
+	mu      sync.Mutex
+	queue   []T
+	waiters []*mboxWaiter[T]
+	closed  bool
+}
+
+type mboxWaiter[T any] struct {
+	wake    func()
+	val     T
+	ok      bool
+	settled bool // value delivered, timeout fired, or mailbox closed
+}
+
+// NewMailbox returns an empty mailbox using clk for blocking.
+func NewMailbox[T any](clk Clock) *Mailbox[T] {
+	return &Mailbox[T]{clk: clk}
+}
+
+// Send enqueues v, waking one blocked receiver if any. Send on a closed
+// mailbox panics, mirroring send-on-closed-channel.
+func (m *Mailbox[T]) Send(v T) {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		panic("vclock: send on closed Mailbox")
+	}
+	if w := m.popWaiterLocked(); w != nil {
+		w.val, w.ok, w.settled = v, true, true
+		m.mu.Unlock()
+		w.wake()
+		return
+	}
+	m.queue = append(m.queue, v)
+	m.mu.Unlock()
+}
+
+// popWaiterLocked removes and returns the first unsettled waiter.
+func (m *Mailbox[T]) popWaiterLocked() *mboxWaiter[T] {
+	for len(m.waiters) > 0 {
+		w := m.waiters[0]
+		m.waiters = m.waiters[1:]
+		if !w.settled {
+			return w
+		}
+	}
+	return nil
+}
+
+// Recv dequeues the next value, blocking until one arrives. ok is false
+// if the mailbox was closed and drained.
+func (m *Mailbox[T]) Recv() (v T, ok bool) {
+	return m.recv(-1)
+}
+
+// RecvTimeout is Recv with a deadline of d clock time. ok is false on
+// timeout or on closed-and-drained.
+func (m *Mailbox[T]) RecvTimeout(d time.Duration) (v T, ok bool) {
+	return m.recv(d)
+}
+
+// TryRecv dequeues the next value without blocking.
+func (m *Mailbox[T]) TryRecv() (v T, ok bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.queue) == 0 {
+		return v, false
+	}
+	v = m.queue[0]
+	m.queue = m.queue[1:]
+	return v, true
+}
+
+func (m *Mailbox[T]) recv(timeout time.Duration) (v T, ok bool) {
+	m.mu.Lock()
+	if len(m.queue) > 0 {
+		v = m.queue[0]
+		m.queue = m.queue[1:]
+		m.mu.Unlock()
+		return v, true
+	}
+	if m.closed {
+		m.mu.Unlock()
+		return v, false
+	}
+	wait, wake := m.clk.newWaiter()
+	w := &mboxWaiter[T]{wake: wake}
+	m.waiters = append(m.waiters, w)
+	m.mu.Unlock()
+
+	var timer *Timer
+	if timeout >= 0 {
+		timer = m.clk.AfterFunc(timeout, func() {
+			m.mu.Lock()
+			if w.settled {
+				m.mu.Unlock()
+				return
+			}
+			w.settled = true // ok stays false: timed out
+			m.mu.Unlock()
+			w.wake()
+		})
+	}
+	wait()
+	if timer != nil {
+		timer.Stop()
+	}
+	return w.val, w.ok
+}
+
+// Close marks the mailbox closed; blocked receivers return ok=false once
+// the queue drains. Closing twice is a no-op.
+func (m *Mailbox[T]) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	ws := m.waiters
+	m.waiters = nil
+	var wakes []func()
+	for _, w := range ws {
+		if !w.settled {
+			w.settled = true
+			wakes = append(wakes, w.wake)
+		}
+	}
+	m.mu.Unlock()
+	for _, wk := range wakes {
+		wk()
+	}
+}
+
+// Len reports the number of queued values.
+func (m *Mailbox[T]) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.queue)
+}

@@ -1,0 +1,78 @@
+package vclock
+
+import "time"
+
+// Real is a wall-clock implementation of Clock, optionally time-scaled.
+//
+// With Scale == 1 it behaves exactly like the time package. With
+// Scale == 100, one second of clock time elapses in 10 ms of wall time —
+// useful for watching an emulated scenario play out interactively
+// without waiting the full five minutes of a trace.
+type Real struct {
+	// Scale is the speed-up factor; clock durations are divided by Scale
+	// when mapped to wall time. Zero means 1 (no scaling).
+	Scale float64
+
+	base     time.Time // wall instant the clock was created
+	baseSim  time.Time // clock instant corresponding to base
+	haveBase bool
+}
+
+// NewReal returns an unscaled wall clock.
+func NewReal() *Real { return NewScaled(1) }
+
+// NewScaled returns a wall clock sped up by the given factor.
+func NewScaled(scale float64) *Real {
+	if scale <= 0 {
+		scale = 1
+	}
+	return &Real{Scale: scale, base: time.Now(), baseSim: Epoch, haveBase: true}
+}
+
+func (r *Real) scale() float64 {
+	if r.Scale <= 0 {
+		return 1
+	}
+	return r.Scale
+}
+
+// Now returns the current clock time (scaled wall time since creation).
+func (r *Real) Now() time.Time {
+	if !r.haveBase {
+		return time.Now()
+	}
+	elapsed := time.Since(r.base)
+	return r.baseSim.Add(time.Duration(float64(elapsed) * r.scale()))
+}
+
+// Since returns the clock time elapsed since t.
+func (r *Real) Since(t time.Time) time.Duration { return r.Now().Sub(t) }
+
+// Sleep pauses for d of clock time (d/Scale of wall time).
+func (r *Real) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	time.Sleep(time.Duration(float64(d) / r.scale()))
+}
+
+// AfterFunc schedules fn after d of clock time.
+func (r *Real) AfterFunc(d time.Duration, fn func()) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	t := time.AfterFunc(time.Duration(float64(d)/r.scale()), fn)
+	return &Timer{stop: t.Stop}
+}
+
+// Go starts fn in a plain goroutine.
+func (r *Real) Go(fn func()) { go fn() }
+
+// Run simply calls fn; it exists so call sites can treat Real and Virtual
+// clocks uniformly.
+func (r *Real) Run(fn func()) { fn() }
+
+func (r *Real) newWaiter() (wait func(), wake func()) {
+	ch := make(chan struct{}, 1)
+	return func() { <-ch }, func() { ch <- struct{}{} }
+}

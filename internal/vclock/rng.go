@@ -1,0 +1,80 @@
+package vclock
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Rand is a mutex-guarded deterministic random source. Emulated
+// components draw jitter from a seeded Rand so that repeated runs of a
+// scenario produce identical traces.
+type Rand struct {
+	mu sync.Mutex
+	r  *rand.Rand
+}
+
+// NewRand returns a deterministic source seeded with seed.
+func NewRand(seed int64) *Rand {
+	return &Rand{r: rand.New(rand.NewSource(seed))}
+}
+
+// Float64 returns a uniform value in [0,1).
+func (r *Rand) Float64() float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.r.Float64()
+}
+
+// Intn returns a uniform value in [0,n).
+func (r *Rand) Intn(n int) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.r.Intn(n)
+}
+
+// Int63 returns a uniform non-negative 63-bit value.
+func (r *Rand) Int63() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.r.Int63()
+}
+
+// NormFloat64 returns a standard-normally distributed value.
+func (r *Rand) NormFloat64() float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.r.NormFloat64()
+}
+
+// ExpFloat64 returns an exponentially distributed value with rate 1.
+func (r *Rand) ExpFloat64() float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.r.ExpFloat64()
+}
+
+// Jitter returns base scaled by a factor drawn uniformly from
+// [1-frac, 1+frac]; frac is clamped to [0,1]. Jitter(0, f) is always 0.
+func (r *Rand) Jitter(base time.Duration, frac float64) time.Duration {
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	f := 1 + frac*(2*r.Float64()-1)
+	return time.Duration(float64(base) * f)
+}
+
+// LogNormal returns a log-normally distributed duration with the given
+// median and sigma (shape). Startup and processing latencies in the
+// timing model use this: long right tails, never negative.
+func (r *Rand) LogNormal(median time.Duration, sigma float64) time.Duration {
+	if median <= 0 {
+		return 0
+	}
+	n := r.NormFloat64()
+	return time.Duration(float64(median) * math.Exp(sigma*n))
+}

@@ -1,0 +1,242 @@
+package vclock
+
+import (
+	"sync"
+	"time"
+)
+
+// Cond is a clock-aware condition variable. Like sync.Cond it must be
+// used with an external mutex held across the predicate check and Wait.
+type Cond struct {
+	clk     Clock
+	L       sync.Locker
+	mu      sync.Mutex
+	waiters []*condWaiter
+}
+
+type condWaiter struct {
+	wake    func()
+	settled bool
+}
+
+// NewCond returns a condition variable bound to l, using clk to park.
+func NewCond(clk Clock, l sync.Locker) *Cond {
+	return &Cond{clk: clk, L: l}
+}
+
+// Wait atomically releases c.L, parks until Signal/Broadcast, and
+// re-acquires c.L before returning.
+func (c *Cond) Wait() {
+	wait, wake := c.clk.newWaiter()
+	w := &condWaiter{wake: wake}
+	c.mu.Lock()
+	c.waiters = append(c.waiters, w)
+	c.mu.Unlock()
+	c.L.Unlock()
+	wait()
+	c.L.Lock()
+}
+
+// WaitTimeout is Wait with a deadline; it reports false if the deadline
+// expired before a Signal/Broadcast reached this waiter.
+func (c *Cond) WaitTimeout(d time.Duration) bool {
+	wait, wake := c.clk.newWaiter()
+	w := &condWaiter{wake: wake}
+	c.mu.Lock()
+	c.waiters = append(c.waiters, w)
+	c.mu.Unlock()
+
+	signalled := true
+	timer := c.clk.AfterFunc(d, func() {
+		c.mu.Lock()
+		if w.settled {
+			c.mu.Unlock()
+			return
+		}
+		w.settled = true
+		signalled = false
+		c.mu.Unlock()
+		w.wake()
+	})
+	c.L.Unlock()
+	wait()
+	timer.Stop()
+	c.L.Lock()
+	return signalled
+}
+
+// Signal wakes one waiter, if any.
+func (c *Cond) Signal() {
+	c.mu.Lock()
+	var wk func()
+	for len(c.waiters) > 0 {
+		w := c.waiters[0]
+		c.waiters = c.waiters[1:]
+		if !w.settled {
+			w.settled = true
+			wk = w.wake
+			break
+		}
+	}
+	c.mu.Unlock()
+	if wk != nil {
+		wk()
+	}
+}
+
+// Broadcast wakes all current waiters.
+func (c *Cond) Broadcast() {
+	c.mu.Lock()
+	ws := c.waiters
+	c.waiters = nil
+	var wakes []func()
+	for _, w := range ws {
+		if !w.settled {
+			w.settled = true
+			wakes = append(wakes, w.wake)
+		}
+	}
+	c.mu.Unlock()
+	for _, wk := range wakes {
+		wk()
+	}
+}
+
+// Gate is a one-shot latch: goroutines Wait until someone calls Open.
+// Opening an already-open gate is a no-op. It replaces the common
+// close-a-channel idiom in clock-aware code.
+type Gate struct {
+	mu      sync.Mutex
+	open    bool
+	waiters []func()
+}
+
+// NewGate returns a closed gate. The zero value is also usable.
+func NewGate() *Gate { return &Gate{} }
+
+// Open releases all current and future waiters.
+func (g *Gate) Open() {
+	g.mu.Lock()
+	if g.open {
+		g.mu.Unlock()
+		return
+	}
+	g.open = true
+	ws := g.waiters
+	g.waiters = nil
+	g.mu.Unlock()
+	for _, wk := range ws {
+		wk()
+	}
+}
+
+// IsOpen reports whether the gate has been opened.
+func (g *Gate) IsOpen() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.open
+}
+
+// Wait parks until the gate opens (returns immediately if already open).
+func (g *Gate) Wait(clk Clock) {
+	g.mu.Lock()
+	if g.open {
+		g.mu.Unlock()
+		return
+	}
+	wait, wake := clk.newWaiter()
+	g.waiters = append(g.waiters, wake)
+	g.mu.Unlock()
+	wait()
+}
+
+// WaitTimeout parks until the gate opens or d elapses; it reports whether
+// the gate opened.
+func (g *Gate) WaitTimeout(clk Clock, d time.Duration) bool {
+	g.mu.Lock()
+	if g.open {
+		g.mu.Unlock()
+		return true
+	}
+	wait, wake := clk.newWaiter()
+	settled := false
+	opened := true
+	g.waiters = append(g.waiters, func() {
+		g.mu.Lock()
+		if settled {
+			g.mu.Unlock()
+			return
+		}
+		settled = true
+		g.mu.Unlock()
+		wake()
+	})
+	g.mu.Unlock()
+
+	timer := clk.AfterFunc(d, func() {
+		g.mu.Lock()
+		if settled {
+			g.mu.Unlock()
+			return
+		}
+		settled = true
+		opened = false
+		g.mu.Unlock()
+		wake()
+	})
+	wait()
+	timer.Stop()
+	return opened
+}
+
+// Group waits for a collection of clock goroutines to finish, mirroring
+// sync.WaitGroup.
+type Group struct {
+	mu    sync.Mutex
+	n     int
+	gates []func()
+}
+
+// Add increments the pending-goroutine count by delta.
+func (g *Group) Add(delta int) {
+	g.mu.Lock()
+	g.n += delta
+	if g.n < 0 {
+		g.mu.Unlock()
+		panic("vclock: negative Group counter")
+	}
+	var wakes []func()
+	if g.n == 0 {
+		wakes = g.gates
+		g.gates = nil
+	}
+	g.mu.Unlock()
+	for _, wk := range wakes {
+		wk()
+	}
+}
+
+// Done decrements the pending count by one.
+func (g *Group) Done() { g.Add(-1) }
+
+// Go runs fn on clk as a tracked goroutine counted by the group.
+func (g *Group) Go(clk Clock, fn func()) {
+	g.Add(1)
+	clk.Go(func() {
+		defer g.Done()
+		fn()
+	})
+}
+
+// Wait parks until the counter reaches zero.
+func (g *Group) Wait(clk Clock) {
+	g.mu.Lock()
+	if g.n == 0 {
+		g.mu.Unlock()
+		return
+	}
+	wait, wake := clk.newWaiter()
+	g.gates = append(g.gates, wake)
+	g.mu.Unlock()
+	wait()
+}

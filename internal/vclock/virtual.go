@@ -1,0 +1,214 @@
+package vclock
+
+import (
+	"container/heap"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Virtual is a deterministic discrete-event clock.
+//
+// It tracks how many of its goroutines are runnable. Whenever that count
+// drops to zero (everyone is sleeping or parked on a primitive from this
+// package), the goroutine that parked last advances the clock to the
+// earliest pending event and fires it. Events at the same instant fire in
+// the order they were scheduled, so runs are reproducible.
+type Virtual struct {
+	mu      sync.Mutex
+	now     time.Time
+	seq     uint64
+	events  eventHeap
+	running int
+	stopped bool
+}
+
+type event struct {
+	at    time.Time
+	seq   uint64
+	index int // heap index; -1 when popped or cancelled
+	// fire runs with the clock mutex held; it must only adjust scheduler
+	// state and hand wake-ups to goroutines, never block.
+	fire func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if !h[i].at.Equal(h[j].at) {
+		return h[i].at.Before(h[j].at)
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// NewVirtual returns a virtual clock whose time starts at start.
+func NewVirtual(start time.Time) *Virtual {
+	return &Virtual{now: start}
+}
+
+// Epoch is the default start instant for simulations: an arbitrary fixed
+// time so that absolute timestamps in traces are reproducible.
+var Epoch = time.Date(2023, 2, 7, 12, 0, 0, 0, time.UTC)
+
+// New returns a virtual clock starting at Epoch.
+func New() *Virtual { return NewVirtual(Epoch) }
+
+// Now returns the current virtual time.
+func (v *Virtual) Now() time.Time {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.now
+}
+
+// Since returns the virtual time elapsed since t.
+func (v *Virtual) Since(t time.Time) time.Duration { return v.Now().Sub(t) }
+
+// Run executes fn on the calling goroutine with that goroutine tracked by
+// the clock, then stops the clock when fn returns. Goroutines still
+// parked at that point stay parked; a finished simulation does not keep
+// firing periodic timers. Run is how a test or main function enters a
+// simulation.
+func (v *Virtual) Run(fn func()) {
+	v.mu.Lock()
+	if v.stopped {
+		v.mu.Unlock()
+		panic("vclock: Run on a stopped clock")
+	}
+	v.running++
+	v.mu.Unlock()
+
+	defer func() {
+		v.mu.Lock()
+		v.running--
+		v.stopped = true
+		v.mu.Unlock()
+	}()
+	fn()
+}
+
+// Go starts fn in a goroutine tracked by this clock.
+func (v *Virtual) Go(fn func()) {
+	v.mu.Lock()
+	v.running++
+	v.mu.Unlock()
+	go func() {
+		defer v.exit()
+		fn()
+	}()
+}
+
+func (v *Virtual) exit() {
+	v.mu.Lock()
+	v.running--
+	v.maybeAdvanceLocked()
+	v.mu.Unlock()
+}
+
+// Sleep pauses the calling goroutine for d of virtual time.
+func (v *Virtual) Sleep(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	ch := make(chan struct{}, 1)
+	v.mu.Lock()
+	v.scheduleLocked(d, func() {
+		v.running++
+		ch <- struct{}{}
+	})
+	v.running--
+	v.maybeAdvanceLocked()
+	v.mu.Unlock()
+	<-ch
+}
+
+// AfterFunc schedules fn to run in its own tracked goroutine after d of
+// virtual time.
+func (v *Virtual) AfterFunc(d time.Duration, fn func()) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	ev := v.scheduleLocked(d, func() {
+		v.running++
+		go func() {
+			defer v.exit()
+			fn()
+		}()
+	})
+	return &Timer{stop: func() bool {
+		v.mu.Lock()
+		defer v.mu.Unlock()
+		if ev.index < 0 {
+			return false
+		}
+		heap.Remove(&v.events, ev.index)
+		return true
+	}}
+}
+
+// scheduleLocked enqueues fire to run at now+d. Callers hold v.mu.
+func (v *Virtual) scheduleLocked(d time.Duration, fire func()) *event {
+	v.seq++
+	ev := &event{at: v.now.Add(d), seq: v.seq, fire: fire}
+	heap.Push(&v.events, ev)
+	return ev
+}
+
+// maybeAdvanceLocked advances virtual time while no goroutine is
+// runnable. Callers hold v.mu.
+func (v *Virtual) maybeAdvanceLocked() {
+	for v.running == 0 && !v.stopped {
+		if v.events.Len() == 0 {
+			// Release the mutex before panicking so deferred cleanup in
+			// callers (e.g. Run) can still acquire it while unwinding.
+			now := v.now
+			v.mu.Unlock()
+			panic(fmt.Sprintf("vclock: deadlock at %s: all goroutines parked and no timers pending", now.Format(time.RFC3339Nano)))
+		}
+		ev := heap.Pop(&v.events).(*event)
+		if ev.at.After(v.now) {
+			v.now = ev.at
+		}
+		ev.fire()
+	}
+}
+
+// newWaiter implements the parking protocol for blocking primitives.
+func (v *Virtual) newWaiter() (wait func(), wake func()) {
+	ch := make(chan struct{}, 1)
+	wait = func() {
+		v.mu.Lock()
+		v.running--
+		v.maybeAdvanceLocked()
+		v.mu.Unlock()
+		<-ch
+	}
+	wake = func() {
+		v.mu.Lock()
+		v.running++
+		v.mu.Unlock()
+		ch <- struct{}{}
+	}
+	return wait, wake
+}

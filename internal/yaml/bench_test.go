@@ -1,0 +1,26 @@
+package yaml
+
+import "testing"
+
+// BenchmarkUnmarshalDeployment parses the canonical deployment manifest.
+func BenchmarkUnmarshalDeployment(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Unmarshal(nginxDeployment); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMarshalDeployment renders the parsed manifest back to text.
+func BenchmarkMarshalDeployment(b *testing.B) {
+	v, err := Unmarshal(nginxDeployment)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if out := Marshal(v); len(out) == 0 {
+			b.Fatal("empty output")
+		}
+	}
+}
