@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: build test race vet check bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# check is the CI gate: everything must build, vet clean, and pass the
+# race-enabled test suite.
+check: vet build race
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run=^$$ .

@@ -17,6 +17,7 @@ import (
 	"github.com/c3lab/transparentedge/internal/catalog"
 	"github.com/c3lab/transparentedge/internal/cluster"
 	"github.com/c3lab/transparentedge/internal/core"
+	"github.com/c3lab/transparentedge/internal/faultinject"
 	"github.com/c3lab/transparentedge/internal/testbed"
 	"github.com/c3lab/transparentedge/internal/trace"
 	"github.com/c3lab/transparentedge/internal/vclock"
@@ -241,6 +242,45 @@ func BenchmarkTraceReplay(b *testing.B) {
 	}
 	b.ReportMetric(simMS(med), "sim-ms-p50")
 	b.ReportMetric(simMS(p99), "sim-ms-p99")
+}
+
+// BenchmarkFaultRecovery runs the reduced replay fault-free and under
+// 10 % pull/scale-up failures, reporting the latency the resilience
+// machinery (retry, failover, breaker, cloud fallback) pays to keep
+// every request alive.
+func BenchmarkFaultRecovery(b *testing.B) {
+	cfg := trace.DefaultBigFlows()
+	cfg.HotServices = 8
+	cfg.TotalRequests = 320
+	for _, mode := range []struct {
+		name    string
+		faulted bool
+	}{{"baseline", false}, {"faulted", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			var med, p99 time.Duration
+			var retries, failovers int64
+			for i := 0; i < b.N; i++ {
+				cfg.Seed = int64(i + 1)
+				faults := faultinject.Config{Seed: cfg.Seed}
+				if mode.faulted {
+					faults = testbed.DefaultFaultConfig(cfg.Seed)
+				}
+				res, err := testbed.RunFaultReplay("nginx", cfg, faults, cfg.Seed)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Errors > 0 {
+					b.Fatalf("%d of %d requests blackholed", res.Errors, res.Requests)
+				}
+				med, p99 = res.Totals.Median(), res.Totals.Percentile(99)
+				retries, failovers = res.Stats.Retries, res.Stats.Failovers
+			}
+			b.ReportMetric(simMS(med), "sim-ms-p50")
+			b.ReportMetric(simMS(p99), "sim-ms-p99")
+			b.ReportMetric(float64(retries), "retries")
+			b.ReportMetric(float64(failovers), "failovers")
+		})
+	}
 }
 
 // ablationScenario measures repeated requests from one client with the

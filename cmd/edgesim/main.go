@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"github.com/c3lab/transparentedge/internal/cluster"
+	"github.com/c3lab/transparentedge/internal/faultinject"
 	"github.com/c3lab/transparentedge/internal/metrics"
 	"github.com/c3lab/transparentedge/internal/testbed"
 	"github.com/c3lab/transparentedge/internal/trace"
@@ -30,7 +31,7 @@ var allServices = []string{"asm", "nginx", "resnet", "nginxpy"}
 var emit = func(t *metrics.Table) { fmt.Println(t) }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: tableI|fig9|fig10|fig11|fig12|fig13|fig14|fig15|fig16|access|trace|all")
+	exp := flag.String("exp", "all", "experiment: tableI|fig9|fig10|fig11|fig12|fig13|fig14|fig15|fig16|access|trace|faults|all")
 	n := flag.Int("n", testbed.DefaultDeployments, "deployments per run (paper: 42)")
 	service := flag.String("service", "all", "service key: asm|nginx|resnet|nginxpy|all")
 	seed := flag.Int64("seed", 1, "simulation seed")
@@ -77,6 +78,7 @@ func main() {
 	run("fig16", func() error { return fig16(services, *warm, *seed) })
 	run("access", func() error { return accessOverhead(*seed) })
 	run("trace", func() error { return traceReplay(*seed) })
+	run("faults", func() error { return faultReplay(*seed) })
 }
 
 // accessOverhead reports the cost of the transparent-access mechanism
@@ -235,6 +237,51 @@ func fig16(services []string, warm int, seed int64) error {
 		t.AddRow(row...)
 	}
 	emit(t)
+	return nil
+}
+
+// faultReplay replays the trace twice on the same two-edge topology —
+// once fault-free, once with 10 % pull/scale-up failures plus a 30 s
+// near-edge outage — and reports what the resilience machinery paid to
+// keep every client request alive.
+func faultReplay(seed int64) error {
+	cfg := trace.DefaultBigFlows()
+	cfg.Seed = seed
+	base, err := testbed.RunFaultReplay("nginx", cfg, faultinject.Config{Seed: seed}, seed)
+	if err != nil {
+		return err
+	}
+	faulted, err := testbed.RunFaultReplay("nginx", cfg, testbed.DefaultFaultConfig(seed), seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Fault injection — %d requests, 10%% pull/scale-up failures, one 30 s edge outage (seed %d)\n",
+		faulted.Requests, seed)
+	t := metrics.NewTable("", "metric", "fault-free", "faulted")
+	t.AddRow("failed requests", fmt.Sprintf("%d", base.Errors), fmt.Sprintf("%d", faulted.Errors))
+	t.AddRow("median", metrics.FmtMS(base.Totals.Median()), metrics.FmtMS(faulted.Totals.Median()))
+	t.AddRow("p99", metrics.FmtMS(base.Totals.Percentile(99)), metrics.FmtMS(faulted.Totals.Percentile(99)))
+	t.AddRow("max", metrics.FmtMS(base.Totals.Max()), metrics.FmtMS(faulted.Totals.Max()))
+	for _, row := range []struct {
+		name string
+		a, b int64
+	}{
+		{"injected pull failures", base.Injected.PullFailures, faulted.Injected.PullFailures},
+		{"injected scale-up failures", base.Injected.ScaleUpFailures, faulted.Injected.ScaleUpFailures},
+		{"injected outage errors", base.Injected.OutageErrors, faulted.Injected.OutageErrors},
+		{"retries", base.Stats.Retries, faulted.Stats.Retries},
+		{"failovers", base.Stats.Failovers, faulted.Stats.Failovers},
+		{"breaker trips", base.Stats.BreakerTrips, faulted.Stats.BreakerTrips},
+		{"breaker recoveries", base.Stats.BreakerRecoveries, faulted.Stats.BreakerRecoveries},
+		{"health evictions", base.Stats.HealthEvictions, faulted.Stats.HealthEvictions},
+		{"cloud forwards", base.Stats.CloudForwards, faulted.Stats.CloudForwards},
+	} {
+		t.AddRow(row.name, fmt.Sprintf("%d", row.a), fmt.Sprintf("%d", row.b))
+	}
+	emit(t)
+	if faulted.Errors == 0 {
+		fmt.Println("every request completed: faults were absorbed by retry, failover, and cloud fallback")
+	}
 	return nil
 }
 

@@ -55,7 +55,7 @@ func main() {
 		}
 
 		start := clk.Now()
-		totals := tb.ReplayTrace(workload, handles)
+		totals, _ := tb.ReplayTrace(workload, handles)
 		fmt.Printf("replayed %d requests in %v of simulated time\n",
 			totals.Len(), clk.Since(start).Round(time.Second))
 

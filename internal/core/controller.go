@@ -51,8 +51,32 @@ type Config struct {
 	// ("the controller continuously tests if the respective port is
 	// open").
 	ProbeInterval time.Duration
-	// DeployTimeout bounds one on-demand deployment end to end.
+	// DeployTimeout bounds one on-demand deployment end to end: the
+	// clock starts before the Pull phase and covers retries and the
+	// readiness wait.
 	DeployTimeout time.Duration
+	// RetryMax is the number of retries after the first failed attempt
+	// of one deployment phase (default 2; negative disables retries).
+	RetryMax int
+	// RetryBaseDelay is the backoff before the first retry; it doubles
+	// per attempt up to RetryMaxDelay, with deterministic jitter.
+	RetryBaseDelay time.Duration
+	// RetryMaxDelay caps the exponential backoff.
+	RetryMaxDelay time.Duration
+	// BreakerThreshold trips a cluster's circuit breaker after that many
+	// consecutive deployment failures (default 3; negative disables the
+	// breaker). A tripped cluster is skipped during candidate gathering
+	// until BreakerCooldown passes, then one half-open probe deployment
+	// decides between recovery and another cooldown.
+	BreakerThreshold int
+	// BreakerCooldown is how long a tripped breaker stays open.
+	BreakerCooldown time.Duration
+	// HealthProbeInterval is the cadence of the background instance
+	// health prober, which re-checks the port of every instance the
+	// FlowMemory references and evicts dead ones so the next packet-in
+	// redeploys instead of blackholing into stale redirect flows.
+	// Zero disables the prober.
+	HealthProbeInterval time.Duration
 	// SwitchFlowIdle is the (low) idle timeout of installed switch
 	// flows.
 	SwitchFlowIdle time.Duration
@@ -96,6 +120,25 @@ func (c Config) withDefaults() Config {
 	if out.MemoryIdle <= 0 {
 		out.MemoryIdle = 60 * time.Second
 	}
+	if out.RetryMax == 0 {
+		out.RetryMax = 2
+	} else if out.RetryMax < 0 {
+		out.RetryMax = 0
+	}
+	if out.RetryBaseDelay <= 0 {
+		out.RetryBaseDelay = 50 * time.Millisecond
+	}
+	if out.RetryMaxDelay <= 0 {
+		out.RetryMaxDelay = 2 * time.Second
+	}
+	if out.BreakerThreshold == 0 {
+		out.BreakerThreshold = 3
+	} else if out.BreakerThreshold < 0 {
+		out.BreakerThreshold = 0 // disabled
+	}
+	if out.BreakerCooldown <= 0 {
+		out.BreakerCooldown = 30 * time.Second
+	}
 	return out
 }
 
@@ -136,20 +179,37 @@ type DeployTrace struct {
 
 // Stats counts controller activity; all fields are monotonic.
 type Stats struct {
-	PacketIns       int64
-	MemoryHits      int64
-	ScheduleCalls   int64
-	DeploysWaiting  int64
-	DeploysNoWait   int64
-	CloudForwards   int64
-	DeployFailures  int64
-	Pulls           int64
-	Creates         int64
-	ScaleUps        int64
-	ScaleDowns      int64
-	Removes         int64
-	FlowsInstalled  int64
-	FlowRemovedMsgs int64
+	PacketIns      int64
+	MemoryHits     int64
+	ScheduleCalls  int64
+	DeploysWaiting int64
+	DeploysNoWait  int64
+	CloudForwards  int64
+	DeployFailures int64
+	Pulls          int64
+	Creates        int64
+	ScaleUps       int64
+	ScaleDowns     int64
+	// ScaleDownFailures counts idle scale-downs the cluster rejected;
+	// the deployment record is kept so controller state stays consistent
+	// with the still-running instance.
+	ScaleDownFailures int64
+	Removes           int64
+	FlowsInstalled    int64
+	FlowRemovedMsgs   int64
+	// Retries counts repeated deployment-phase attempts after transient
+	// failures (capped exponential backoff).
+	Retries int64
+	// Failovers counts deployments redirected to the next-best candidate
+	// after the FAST choice failed.
+	Failovers int64
+	// BreakerTrips / BreakerRecoveries count per-cluster circuit-breaker
+	// transitions to open and back to closed.
+	BreakerTrips      int64
+	BreakerRecoveries int64
+	// HealthEvictions counts instances the background health prober
+	// found dead and evicted from the FlowMemory.
+	HealthEvictions int64
 }
 
 // Controller is the SDN controller: the paper's contribution.
@@ -171,6 +231,7 @@ type Controller struct {
 	deployments map[deployKey]*deployState
 	pending     map[flowKey]bool
 	clients     map[netem.IP]ClientLocation
+	breakers    map[string]*breakerState
 	stats       Stats
 	started     bool
 }
@@ -237,6 +298,7 @@ func New(clk vclock.Clock, cfg Config) (*Controller, error) {
 		deployments: make(map[deployKey]*deployState),
 		pending:     make(map[flowKey]bool),
 		clients:     make(map[netem.IP]ClientLocation),
+		breakers:    make(map[string]*breakerState),
 	}
 	c.switches = append([]*openflow.Switch{cfg.Switch}, cfg.ExtraSwitches...)
 	for _, sw := range c.switches {
@@ -392,6 +454,9 @@ func (c *Controller) Start() {
 			}
 		})
 	}
+	if c.cfg.HealthProbeInterval > 0 {
+		c.clk.Go(c.healthProbeLoop)
+	}
 }
 
 // count mutates one stats counter under the lock.
@@ -425,8 +490,7 @@ func (c *Controller) handleFlowRemoved(msg openflow.FlowRemoved) {
 // service expired.
 func (c *Controller) onServiceIdle(svcName string) {
 	c.mu.Lock()
-	svc, ok := c.byName[svcName]
-	if !ok {
+	if _, ok := c.byName[svcName]; !ok {
 		c.mu.Unlock()
 		return
 	}
@@ -447,9 +511,17 @@ func (c *Controller) onServiceIdle(svcName string) {
 	c.mu.Unlock()
 
 	for _, t := range targets {
-		if err := t.cl.ScaleDown(svcName); err == nil {
-			c.count(func(s *Stats) { s.ScaleDowns++ })
+		if err := t.cl.ScaleDown(svcName); err != nil {
+			// The instance is still up: keep the deployment record so
+			// controller state matches the cluster, and let a later idle
+			// expiry try again.
+			c.count(func(s *Stats) { s.ScaleDownFailures++ })
+			c.mu.Lock()
+			t.state.scaledDown = false
+			c.mu.Unlock()
+			continue
 		}
+		c.count(func(s *Stats) { s.ScaleDowns++ })
 		if c.cfg.RemoveOnIdle {
 			if err := t.cl.Remove(svcName); err == nil {
 				c.count(func(s *Stats) { s.Removes++ })
@@ -460,5 +532,4 @@ func (c *Controller) onServiceIdle(svcName string) {
 		delete(c.deployments, deployKey{service: svcName, cluster: t.cl.Name()})
 		c.mu.Unlock()
 	}
-	_ = svc
 }

@@ -2,6 +2,8 @@ package core
 
 import (
 	"fmt"
+	"hash/fnv"
+	"time"
 
 	"github.com/c3lab/transparentedge/internal/cluster"
 	"github.com/c3lab/transparentedge/internal/netem"
@@ -75,6 +77,11 @@ func (c *Controller) dispatch(sw *openflow.Switch, svc *Service, client netem.IP
 	zone := c.cfg.ZoneLatency[sw.DeviceName()]
 	candidates := make([]Candidate, 0, len(c.cfg.Clusters))
 	for _, cl := range c.cfg.Clusters {
+		if !c.breakerAllows(cl.Name()) {
+			// Circuit open: the cluster keeps failing deployments, skip it
+			// until the cooldown admits a half-open probe.
+			continue
+		}
 		spec := c.specFor(svc, cl)
 		latency := cl.Location().Latency
 		if override, ok := zone[cl.Name()]; ok {
@@ -117,11 +124,25 @@ func (c *Controller) dispatch(sw *openflow.Switch, svc *Service, client netem.IP
 		// on hold until the new instance answers its port.
 		c.count(func(s *Stats) { s.DeploysWaiting++ })
 		inst, err := c.deploy(svc, decision.Fast)
-		if err != nil {
-			c.count(func(s *Stats) { s.DeployFailures++ })
-			return cluster.Instance{}, false
+		if err == nil {
+			return inst, true
 		}
-		return inst, true
+		c.count(func(s *Stats) { s.DeployFailures++ })
+		// The FAST choice failed even after per-phase retries: fail over
+		// to the next-best candidates from the scheduler's ranked list
+		// before surrendering to the cloud.
+		for _, fb := range decision.Fallbacks {
+			if fb == decision.Fast || !c.breakerAllows(fb.Name()) {
+				continue
+			}
+			c.count(func(s *Stats) { s.Failovers++ })
+			inst, err = c.deploy(svc, fb)
+			if err == nil {
+				return inst, true
+			}
+			c.count(func(s *Stats) { s.DeployFailures++ })
+		}
+		return cluster.Instance{}, false
 	default:
 		// Forward toward the cloud.
 		c.count(func(s *Stats) { s.CloudForwards++ })
@@ -154,6 +175,7 @@ func (c *Controller) deploy(svc *Service, cl cluster.Cluster) (cluster.Instance,
 			c.deployments[key] = st
 			c.mu.Unlock()
 			st.inst, st.err = c.runPhases(svc, cl)
+			c.breakerRecord(cl.Name(), st.err == nil)
 			if st.err != nil {
 				// Unregister the failed attempt so a later request retries.
 				c.mu.Lock()
@@ -186,10 +208,15 @@ func (c *Controller) deploy(svc *Service, cl cluster.Cluster) (cluster.Instance,
 }
 
 // runPhases executes Pull → Create → Scale Up → wait-for-port,
-// reporting per-phase durations through the OnDeploy hook.
+// reporting per-phase durations through the OnDeploy hook. The
+// DeployTimeout deadline starts here and bounds the deployment end to
+// end — phases, their retries, and the readiness wait all share it.
+// Each phase retries transient failures with capped exponential backoff
+// and deterministic jitter.
 func (c *Controller) runPhases(svc *Service, cl cluster.Cluster) (inst cluster.Instance, err error) {
 	tr := DeployTrace{Service: svc.Name, Cluster: cl.Name()}
 	start := c.clk.Now()
+	deadline := start.Add(c.cfg.DeployTimeout)
 	defer func() {
 		tr.Total = c.clk.Since(start)
 		tr.Err = err
@@ -198,10 +225,11 @@ func (c *Controller) runPhases(svc *Service, cl cluster.Cluster) (inst cluster.I
 		}
 	}()
 
+	retryKey := svc.Name + "/" + cl.Name()
 	spec := c.specFor(svc, cl)
 	if !cl.HasImages(spec) {
 		t0 := c.clk.Now()
-		if err = cl.Pull(spec); err != nil {
+		if err = c.retryPhase(deadline, retryKey+"/pull", func() error { return cl.Pull(spec) }); err != nil {
 			return cluster.Instance{}, err
 		}
 		tr.Pull = c.clk.Since(t0)
@@ -209,29 +237,67 @@ func (c *Controller) runPhases(svc *Service, cl cluster.Cluster) (inst cluster.I
 	}
 	if !cl.Created(svc.Name) {
 		t0 := c.clk.Now()
-		if err = cl.Create(spec); err != nil {
+		if err = c.retryPhase(deadline, retryKey+"/create", func() error { return cl.Create(spec) }); err != nil {
 			return cluster.Instance{}, err
 		}
 		tr.Create = c.clk.Since(t0)
 		c.count(func(s *Stats) { s.Creates++ })
 	}
 	t0 := c.clk.Now()
-	if err = cl.ScaleUp(svc.Name); err != nil {
+	if err = c.retryPhase(deadline, retryKey+"/scaleup", func() error { return cl.ScaleUp(svc.Name) }); err != nil {
 		return cluster.Instance{}, err
 	}
 	tr.ScaleUp = c.clk.Since(t0)
 	c.count(func(s *Stats) { s.ScaleUps++ })
 	t0 = c.clk.Now()
-	inst, err = c.waitReady(svc, cl)
+	inst, err = c.waitReady(svc, cl, deadline)
 	tr.Wait = c.clk.Since(t0)
 	return inst, err
 }
 
+// retryPhase runs one deployment phase, retrying transient failures up
+// to RetryMax times with capped exponential backoff. Retries stop when
+// the next attempt could not even start before the deployment deadline.
+func (c *Controller) retryPhase(deadline time.Time, key string, fn func() error) error {
+	for attempt := 0; ; attempt++ {
+		err := fn()
+		if err == nil {
+			return nil
+		}
+		if attempt >= c.cfg.RetryMax {
+			return err
+		}
+		delay := c.backoff(key, attempt)
+		if c.clk.Now().Add(delay).After(deadline) {
+			return err
+		}
+		c.count(func(s *Stats) { s.Retries++ })
+		c.clk.Sleep(delay)
+	}
+}
+
+// backoff computes the delay before retry number attempt: exponential
+// from RetryBaseDelay, capped at RetryMaxDelay, jittered into
+// [d/2, d) by a hash of (seed, key, attempt) — deterministic for a
+// given seed, yet decorrelated across services, clusters, and phases
+// regardless of goroutine interleaving.
+func (c *Controller) backoff(key string, attempt int) time.Duration {
+	d := c.cfg.RetryBaseDelay << uint(attempt)
+	if d <= 0 || d > c.cfg.RetryMaxDelay {
+		d = c.cfg.RetryMaxDelay
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d/%s/%d", c.cfg.Seed, key, attempt)
+	frac := float64(h.Sum64()%1024) / 1024
+	return d/2 + time.Duration(frac*float64(d/2))
+}
+
 // waitReady polls the cluster for an instance and then verifies its
 // port is open — "before setting up the flows, the controller
-// continuously tests if the respective port is open" (§VI).
-func (c *Controller) waitReady(svc *Service, cl cluster.Cluster) (cluster.Instance, error) {
-	deadline := c.clk.Now().Add(c.cfg.DeployTimeout)
+// continuously tests if the respective port is open" (§VI). The
+// deadline is the whole deployment's: time spent pulling and creating
+// counts against it.
+func (c *Controller) waitReady(svc *Service, cl cluster.Cluster, deadline time.Time) (cluster.Instance, error) {
 	for {
 		for _, inst := range cl.Instances(svc.Name) {
 			if c.probePort(inst.Addr) {

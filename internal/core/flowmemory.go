@@ -155,6 +155,30 @@ func (fm *FlowMemory) scheduleExpiry(key flowKey, e *memEntry, wait time.Duratio
 	})
 }
 
+// Entry is one memorized flow, as exposed to the health prober.
+type Entry struct {
+	Client   netem.IP
+	Service  netem.HostPort
+	SvcName  string
+	Instance cluster.Instance
+}
+
+// Entries snapshots all memorized flows.
+func (fm *FlowMemory) Entries() []Entry {
+	fm.mu.Lock()
+	defer fm.mu.Unlock()
+	out := make([]Entry, 0, len(fm.entries))
+	for key, e := range fm.entries {
+		out = append(out, Entry{
+			Client:   key.client,
+			Service:  key.service,
+			SvcName:  e.svcName,
+			Instance: e.instance,
+		})
+	}
+	return out
+}
+
 // Len reports the number of memorized flows.
 func (fm *FlowMemory) Len() int {
 	fm.mu.Lock()

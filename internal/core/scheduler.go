@@ -45,6 +45,11 @@ type Decision struct {
 	// Best, when non-nil and different from Fast, is deployed in the
 	// background — on-demand deployment *without* waiting.
 	Best cluster.Cluster
+	// Fallbacks ranks the remaining deployable clusters (best first,
+	// excluding Fast) for the dispatcher's failover: when deploying on
+	// Fast fails, the next-best candidate is tried before the request
+	// surrenders to the cloud.
+	Fallbacks []cluster.Cluster
 }
 
 // GlobalScheduler chooses the edge cluster (the paper's Global
@@ -206,10 +211,22 @@ func (p *ProximityScheduler) Schedule(service *Service, client netem.IP, candida
 		}
 	}
 	if wait {
-		return Decision{Fast: best.Cluster}
+		return Decision{Fast: best.Cluster, Fallbacks: fallbacksAfter(sorted, best.Cluster)}
 	}
 	// Serve from the cloud, deploy at the optimal edge in parallel.
 	return Decision{Best: best.Cluster}
+}
+
+// fallbacksAfter lists the deployable clusters of a latency-sorted
+// candidate slice, best first, excluding the primary choice.
+func fallbacksAfter(sorted []Candidate, primary cluster.Cluster) []cluster.Cluster {
+	var out []cluster.Cluster
+	for i := range sorted {
+		if sorted[i].CanHost && sorted[i].Cluster != primary {
+			out = append(out, sorted[i].Cluster)
+		}
+	}
+	return out
 }
 
 // CloudOnlyScheduler is the baseline without edge computing: every
@@ -266,12 +283,22 @@ func (h *HybridScheduler) Schedule(service *Service, client netem.IP, candidates
 	case dockerC != nil && kubeC != nil:
 		// Nothing runs yet: hold the request for the fast Docker launch
 		// and deploy to Kubernetes in the background.
-		return Decision{Fast: dockerC.Cluster, Best: kubeC.Cluster}
+		return Decision{Fast: dockerC.Cluster, Best: kubeC.Cluster,
+			Fallbacks: fallbacksAfter(byLatency(candidates), dockerC.Cluster)}
 	case dockerC != nil:
-		return Decision{Fast: dockerC.Cluster}
+		return Decision{Fast: dockerC.Cluster, Fallbacks: fallbacksAfter(byLatency(candidates), dockerC.Cluster)}
 	case kubeC != nil:
-		return Decision{Fast: kubeC.Cluster}
+		return Decision{Fast: kubeC.Cluster, Fallbacks: fallbacksAfter(byLatency(candidates), kubeC.Cluster)}
 	default:
 		return Decision{}
 	}
+}
+
+// byLatency returns a latency-sorted copy of candidates.
+func byLatency(candidates []Candidate) []Candidate {
+	sorted := append([]Candidate(nil), candidates...)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		return sorted[i].Latency < sorted[j].Latency
+	})
+	return sorted
 }

@@ -1,0 +1,124 @@
+package faultinject
+
+import (
+	"fmt"
+
+	"github.com/c3lab/transparentedge/internal/cluster"
+)
+
+// Cluster wraps an edge cluster with the plan's per-phase faults. All
+// injected errors fire *instead of* the inner call, modelling a request
+// that never reached the cluster; latencies fire before it.
+type Cluster struct {
+	inner cluster.Cluster
+	plan  *Plan
+}
+
+// WrapCluster returns cl with the plan's faults applied to its
+// deployment phases. A cluster already wrapped by this plan is
+// returned as is.
+func (p *Plan) WrapCluster(cl cluster.Cluster) cluster.Cluster {
+	if fc, ok := cl.(*Cluster); ok && fc.plan == p {
+		return cl
+	}
+	return &Cluster{inner: cl, plan: p}
+}
+
+// Unwrap returns the wrapped cluster.
+func (c *Cluster) Unwrap() cluster.Cluster { return c.inner }
+
+// Name implements cluster.Cluster.
+func (c *Cluster) Name() string { return c.inner.Name() }
+
+// Kind implements cluster.Cluster.
+func (c *Cluster) Kind() cluster.Kind { return c.inner.Kind() }
+
+// Location implements cluster.Cluster.
+func (c *Cluster) Location() cluster.Location { return c.inner.Location() }
+
+// CanHost implements cluster.Cluster.
+func (c *Cluster) CanHost(spec cluster.Spec) bool { return c.inner.CanHost(spec) }
+
+// HasImages implements cluster.Cluster.
+func (c *Cluster) HasImages(spec cluster.Spec) bool { return c.inner.HasImages(spec) }
+
+// outageErr reports (and counts) an active outage window.
+func (c *Cluster) outageErr(op string) error {
+	if !c.plan.inOutage(c.inner.Name()) {
+		return nil
+	}
+	c.plan.count(func(s *Stats) { s.OutageErrors++ })
+	return fmt.Errorf("faultinject: cluster %s unreachable (outage) during %s", c.inner.Name(), op)
+}
+
+// Pull implements cluster.Cluster with injected latency and failures.
+func (c *Cluster) Pull(spec cluster.Spec) error {
+	if c.plan.cfg.PullLatency > 0 {
+		c.plan.clk.Sleep(c.plan.cfg.PullLatency)
+	}
+	if err := c.outageErr("pull"); err != nil {
+		return err
+	}
+	if c.plan.roll(c.plan.cfg.PullFailRate, "pull/"+c.inner.Name()+"/"+spec.Name) {
+		c.plan.count(func(s *Stats) { s.PullFailures++ })
+		return fmt.Errorf("faultinject: pull of %s on %s failed", spec.Name, c.inner.Name())
+	}
+	return c.inner.Pull(spec)
+}
+
+// Created implements cluster.Cluster.
+func (c *Cluster) Created(name string) bool { return c.inner.Created(name) }
+
+// Create implements cluster.Cluster with injected latency and failures.
+func (c *Cluster) Create(spec cluster.Spec) error {
+	if c.plan.cfg.CreateLatency > 0 {
+		c.plan.clk.Sleep(c.plan.cfg.CreateLatency)
+	}
+	if err := c.outageErr("create"); err != nil {
+		return err
+	}
+	if c.plan.roll(c.plan.cfg.CreateFailRate, "create/"+c.inner.Name()+"/"+spec.Name) {
+		c.plan.count(func(s *Stats) { s.CreateFailures++ })
+		return fmt.Errorf("faultinject: create of %s on %s failed", spec.Name, c.inner.Name())
+	}
+	return c.inner.Create(spec)
+}
+
+// ScaleUp implements cluster.Cluster with injected latency and failures.
+func (c *Cluster) ScaleUp(name string) error {
+	if c.plan.cfg.ScaleUpLatency > 0 {
+		c.plan.clk.Sleep(c.plan.cfg.ScaleUpLatency)
+	}
+	if err := c.outageErr("scale-up"); err != nil {
+		return err
+	}
+	if c.plan.roll(c.plan.cfg.ScaleUpFailRate, "scaleup/"+c.inner.Name()+"/"+name) {
+		c.plan.count(func(s *Stats) { s.ScaleUpFailures++ })
+		return fmt.Errorf("faultinject: scale-up of %s on %s failed", name, c.inner.Name())
+	}
+	return c.inner.ScaleUp(name)
+}
+
+// ScaleDown implements cluster.Cluster (no faults: teardown noise is
+// not part of any evaluated scenario and would leak instances).
+func (c *Cluster) ScaleDown(name string) error { return c.inner.ScaleDown(name) }
+
+// Remove implements cluster.Cluster.
+func (c *Cluster) Remove(name string) error { return c.inner.Remove(name) }
+
+// DeleteImages implements cluster.Cluster.
+func (c *Cluster) DeleteImages(spec cluster.Spec) error { return c.inner.DeleteImages(spec) }
+
+// Instances implements cluster.Cluster: during an outage the cluster
+// reports nothing, and ProbeRefuseRate transiently hides instances so
+// the controller's readiness probing sees a refused port.
+func (c *Cluster) Instances(name string) []cluster.Instance {
+	if c.plan.inOutage(c.inner.Name()) {
+		return nil
+	}
+	if c.plan.roll(c.plan.cfg.ProbeRefuseRate, "probe/"+c.inner.Name()+"/"+name) {
+		c.plan.count(func(s *Stats) { s.ProbeRefusals++ })
+		return nil
+	}
+	return c.inner.Instances(name)
+}

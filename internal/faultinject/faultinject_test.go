@@ -1,0 +1,238 @@
+package faultinject
+
+import (
+	"testing"
+	"time"
+
+	"github.com/c3lab/transparentedge/internal/cluster"
+	"github.com/c3lab/transparentedge/internal/netem"
+	"github.com/c3lab/transparentedge/internal/registry"
+	"github.com/c3lab/transparentedge/internal/vclock"
+)
+
+// countingCluster records how often each phase reached the real cluster.
+type countingCluster struct {
+	*cluster.StaticCluster
+	pulls, creates, scaleUps int
+}
+
+func newCountingCluster(name string) *countingCluster {
+	return &countingCluster{
+		StaticCluster: cluster.NewStaticCluster(name, cluster.Location{Tier: 0, Latency: time.Millisecond}),
+	}
+}
+
+func (c *countingCluster) Pull(cluster.Spec) error     { c.pulls++; return nil }
+func (c *countingCluster) Create(cluster.Spec) error   { c.creates++; return nil }
+func (c *countingCluster) ScaleUp(name string) error   { c.scaleUps++; return nil }
+func (c *countingCluster) CanHost(cluster.Spec) bool   { return true }
+func (c *countingCluster) HasImages(cluster.Spec) bool { return false }
+
+func spec(name string) cluster.Spec {
+	return cluster.Spec{
+		Name:       name,
+		Containers: []cluster.ContainerDef{{Name: "main", Image: name + ":latest", Port: 80}},
+	}
+}
+
+func TestZeroConfigIsTransparent(t *testing.T) {
+	clk := vclock.New()
+	clk.Run(func() {
+		plan := NewPlan(clk, Config{Seed: 1})
+		cc := newCountingCluster("edge")
+		wrapped := plan.WrapCluster(cc)
+		for i := 0; i < 50; i++ {
+			if err := wrapped.Pull(spec("svc")); err != nil {
+				t.Fatalf("unexpected pull error: %v", err)
+			}
+			if err := wrapped.Create(spec("svc")); err != nil {
+				t.Fatalf("unexpected create error: %v", err)
+			}
+			if err := wrapped.ScaleUp("svc"); err != nil {
+				t.Fatalf("unexpected scale-up error: %v", err)
+			}
+		}
+		if cc.pulls != 50 || cc.creates != 50 || cc.scaleUps != 50 {
+			t.Fatalf("passthrough miscounted: %d/%d/%d", cc.pulls, cc.creates, cc.scaleUps)
+		}
+		if s := plan.Stats(); s != (Stats{}) {
+			t.Fatalf("zero config injected faults: %+v", s)
+		}
+	})
+}
+
+func TestFailRatesInjectDeterministically(t *testing.T) {
+	run := func() (Stats, int) {
+		clk := vclock.New()
+		var st Stats
+		var reached int
+		clk.Run(func() {
+			plan := NewPlan(clk, Config{Seed: 7, PullFailRate: 0.3, ScaleUpFailRate: 0.3})
+			cc := newCountingCluster("edge")
+			wrapped := plan.WrapCluster(cc)
+			for i := 0; i < 200; i++ {
+				_ = wrapped.Pull(spec("svc"))
+				_ = wrapped.ScaleUp("svc")
+			}
+			st = plan.Stats()
+			reached = cc.pulls + cc.scaleUps
+		})
+		return st, reached
+	}
+	s1, r1 := run()
+	s2, r2 := run()
+	if s1 != s2 || r1 != r2 {
+		t.Fatalf("same seed diverged: %+v/%d vs %+v/%d", s1, r1, s2, r2)
+	}
+	if s1.PullFailures == 0 || s1.ScaleUpFailures == 0 {
+		t.Fatalf("30%% rates injected nothing over 200 calls: %+v", s1)
+	}
+	if s1.PullFailures == 200 || s1.ScaleUpFailures == 200 {
+		t.Fatalf("30%% rates failed every call: %+v", s1)
+	}
+	if int64(r1)+s1.PullFailures+s1.ScaleUpFailures != 400 {
+		t.Fatalf("injected + passed != total: reached=%d stats=%+v", r1, s1)
+	}
+}
+
+func TestIndependentStreamsPerKey(t *testing.T) {
+	// Two services draw from independent streams: interleaving calls for
+	// svc-b between svc-a's calls must not change svc-a's outcomes.
+	outcomes := func(interleave bool) []bool {
+		clk := vclock.New()
+		var out []bool
+		clk.Run(func() {
+			plan := NewPlan(clk, Config{Seed: 11, PullFailRate: 0.5})
+			wrapped := plan.WrapCluster(newCountingCluster("edge"))
+			for i := 0; i < 40; i++ {
+				out = append(out, wrapped.Pull(spec("svc-a")) != nil)
+				if interleave {
+					_ = wrapped.Pull(spec("svc-b"))
+				}
+			}
+		})
+		return out
+	}
+	plain, mixed := outcomes(false), outcomes(true)
+	for i := range plain {
+		if plain[i] != mixed[i] {
+			t.Fatalf("svc-a outcome %d changed when svc-b interleaved", i)
+		}
+	}
+}
+
+func TestOutageWindow(t *testing.T) {
+	clk := vclock.New()
+	clk.Run(func() {
+		plan := NewPlan(clk, Config{
+			Seed:    3,
+			Outages: []Outage{{Cluster: "edge", Start: 10 * time.Second, End: 40 * time.Second}},
+		})
+		cc := newCountingCluster("edge")
+		cc.SetInstance("svc", netem.HostPort{IP: netem.ParseIP("10.0.0.9"), Port: 80})
+		wrapped := plan.WrapCluster(cc)
+		other := plan.WrapCluster(newCountingCluster("other"))
+
+		if err := wrapped.Pull(spec("svc")); err != nil {
+			t.Fatalf("pull before outage failed: %v", err)
+		}
+		clk.Sleep(10 * time.Second)
+		if err := wrapped.Pull(spec("svc")); err == nil {
+			t.Fatal("pull during outage succeeded")
+		}
+		if err := wrapped.ScaleUp("svc"); err == nil {
+			t.Fatal("scale-up during outage succeeded")
+		}
+		if got := wrapped.Instances("svc"); len(got) != 0 {
+			t.Fatalf("instances visible during outage: %v", got)
+		}
+		if err := other.Pull(spec("svc")); err != nil {
+			t.Fatalf("unaffected cluster failed during another's outage: %v", err)
+		}
+		clk.Sleep(31 * time.Second)
+		if err := wrapped.Pull(spec("svc")); err != nil {
+			t.Fatalf("pull after outage failed: %v", err)
+		}
+		if got := wrapped.Instances("svc"); len(got) != 1 {
+			t.Fatalf("instances not restored after outage: %v", got)
+		}
+		if s := plan.Stats(); s.OutageErrors != 2 {
+			t.Fatalf("expected 2 outage errors, got %+v", s)
+		}
+	})
+}
+
+func TestPhaseLatencyInjection(t *testing.T) {
+	clk := vclock.New()
+	clk.Run(func() {
+		plan := NewPlan(clk, Config{Seed: 5, PullLatency: 3 * time.Second})
+		wrapped := plan.WrapCluster(newCountingCluster("edge"))
+		before := clk.Now()
+		if err := wrapped.Pull(spec("svc")); err != nil {
+			t.Fatalf("pull failed: %v", err)
+		}
+		if d := clk.Now().Sub(before); d < 3*time.Second {
+			t.Fatalf("pull latency not injected: took %v", d)
+		}
+	})
+}
+
+func TestRegistryFaults(t *testing.T) {
+	clk := vclock.New()
+	clk.Run(func() {
+		reg := registry.New(clk, 1, registry.Private())
+		im := registry.Image{Ref: "svc:latest", Layers: []registry.Layer{
+			{Digest: registry.LayerDigest("svc", 0), Size: 4 * registry.MiB},
+		}}
+		reg.Push(im)
+
+		plan := NewPlan(clk, Config{Seed: 9, ManifestFailRate: 0.4, SlowLayerRate: 0.4, RegistryDelay: 2 * time.Second})
+		rem := plan.WrapRemote(reg)
+
+		var manifestErrs int
+		for i := 0; i < 50; i++ {
+			if _, err := rem.FetchManifest("svc:latest"); err != nil {
+				manifestErrs++
+			}
+		}
+		if manifestErrs == 0 || manifestErrs == 50 {
+			t.Fatalf("manifest fail rate 0.4 produced %d/50 errors", manifestErrs)
+		}
+
+		var slow int
+		for i := 0; i < 50; i++ {
+			before := clk.Now()
+			d := rem.DownloadLayersFor("svc:latest", im.Layers)
+			if wall := clk.Now().Sub(before); wall >= 2*time.Second {
+				slow++
+				if d < 2*time.Second {
+					t.Fatalf("slow download reported %v, below injected delay", d)
+				}
+			}
+		}
+		s := plan.Stats()
+		if int64(manifestErrs) != s.ManifestErrors || int64(slow) != s.SlowLayers {
+			t.Fatalf("stats disagree with observations: errs=%d slow=%d stats=%+v", manifestErrs, slow, s)
+		}
+		if s.SlowLayers == 0 || s.SlowLayers == 50 {
+			t.Fatalf("slow layer rate 0.4 produced %d/50", s.SlowLayers)
+		}
+	})
+}
+
+func TestDoubleWrapIsIdempotent(t *testing.T) {
+	clk := vclock.New()
+	clk.Run(func() {
+		plan := NewPlan(clk, Config{Seed: 1})
+		cc := newCountingCluster("edge")
+		w1 := plan.WrapCluster(cc)
+		if w2 := plan.WrapCluster(w1); w2 != w1 {
+			t.Fatal("re-wrapping by the same plan produced a new layer")
+		}
+		reg := registry.New(clk, 1, registry.Private())
+		r1 := plan.WrapRemote(reg)
+		if r2 := plan.WrapRemote(r1); r2 != r1 {
+			t.Fatal("re-wrapping remote by the same plan produced a new layer")
+		}
+	})
+}

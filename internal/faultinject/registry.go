@@ -1,0 +1,66 @@
+package faultinject
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/c3lab/transparentedge/internal/registry"
+)
+
+// Remote wraps an image source with the plan's registry faults:
+// manifest fetches can fail outright, and layer downloads can enter
+// slow-registry mode. Layer transfers in the model have no error
+// channel — a degraded registry shows up as time, which is exactly how
+// containerd experiences one.
+type Remote struct {
+	inner registry.Remote
+	plan  *Plan
+}
+
+// WrapRemote returns rem with the plan's registry faults applied. A
+// remote already wrapped by this plan is returned as is.
+func (p *Plan) WrapRemote(rem registry.Remote) registry.Remote {
+	if fr, ok := rem.(*Remote); ok && fr.plan == p {
+		return rem
+	}
+	return &Remote{inner: rem, plan: p}
+}
+
+// Unwrap returns the wrapped remote.
+func (r *Remote) Unwrap() registry.Remote { return r.inner }
+
+// Name implements registry.Remote.
+func (r *Remote) Name() string { return r.inner.Name() }
+
+// FetchManifest implements registry.Remote. An injected failure still
+// pays the real round trip first — the client talked to the registry
+// and got an error back, it did not skip the wire.
+func (r *Remote) FetchManifest(ref string) (registry.Image, error) {
+	im, err := r.inner.FetchManifest(ref)
+	if err != nil {
+		return im, err
+	}
+	if r.plan.roll(r.plan.cfg.ManifestFailRate, "manifest/"+ref) {
+		r.plan.count(func(s *Stats) { s.ManifestErrors++ })
+		if r.plan.cfg.RegistryDelay > 0 {
+			r.plan.clk.Sleep(r.plan.cfg.RegistryDelay)
+		}
+		return registry.Image{}, fmt.Errorf("faultinject: manifest fetch for %s failed", ref)
+	}
+	return im, nil
+}
+
+// DownloadLayersFor implements registry.Remote, stalling for
+// RegistryDelay on top of the modelled transfer when the draw selects
+// slow-registry mode.
+func (r *Remote) DownloadLayersFor(ref string, layers []registry.Layer) time.Duration {
+	d := r.inner.DownloadLayersFor(ref, layers)
+	if len(layers) > 0 && r.plan.roll(r.plan.cfg.SlowLayerRate, "layers/"+ref) {
+		r.plan.count(func(s *Stats) { s.SlowLayers++ })
+		if r.plan.cfg.RegistryDelay > 0 {
+			r.plan.clk.Sleep(r.plan.cfg.RegistryDelay)
+			d += r.plan.cfg.RegistryDelay
+		}
+	}
+	return d
+}

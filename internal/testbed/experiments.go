@@ -502,7 +502,7 @@ func RunTraceReplay(serviceKey string, kind cluster.Kind, cfg trace.Config, seed
 			return
 		}
 		tr := trace.Generate(cfg)
-		res.Totals = tb.ReplayTrace(tr, handles)
+		res.Totals, _ = tb.ReplayTrace(tr, handles)
 		res.Stats = tb.Controller.Stats()
 	})
 	if runErr != nil {

@@ -1,0 +1,92 @@
+package testbed
+
+import (
+	"time"
+
+	"github.com/c3lab/transparentedge/internal/catalog"
+	"github.com/c3lab/transparentedge/internal/core"
+	"github.com/c3lab/transparentedge/internal/faultinject"
+	"github.com/c3lab/transparentedge/internal/metrics"
+	"github.com/c3lab/transparentedge/internal/trace"
+	"github.com/c3lab/transparentedge/internal/vclock"
+)
+
+// DefaultFaultConfig is the evaluated fault scenario: 10 % of image
+// pulls and scale-ups fail with transient errors, and the near edge
+// suffers one 30 s control-plane outage early in the replay. The
+// transparent-access promise requires that clients never notice any
+// of it.
+func DefaultFaultConfig(seed int64) faultinject.Config {
+	return faultinject.Config{
+		Seed:            seed,
+		PullFailRate:    0.10,
+		ScaleUpFailRate: 0.10,
+		Outages: []faultinject.Outage{
+			{Cluster: "edge-docker", Start: 60 * time.Second, End: 90 * time.Second},
+		},
+	}
+}
+
+// FaultReplayResult is the outcome of one trace replay under an active
+// fault plan.
+type FaultReplayResult struct {
+	// Totals is the client-observed time_total of every completed
+	// request.
+	Totals *metrics.Series
+	// Requests is the replayed request count; Errors how many of them
+	// failed (a non-zero value means clients saw blackholed flows).
+	Requests int
+	Errors   int
+	// Stats is the controller's view: retries, failovers, breaker
+	// activity, health evictions.
+	Stats core.Stats
+	// Injected counts the faults the plan actually fired.
+	Injected faultinject.Stats
+}
+
+// RunFaultReplay replays the request trace on a two-edge testbed
+// (near Docker edge + far edge, so failover has somewhere to go) with
+// the given fault plan active on every edge cluster and the registry.
+// Nothing is pre-pulled: the injected pull faults must hit the live
+// dispatch path. A zero-valued fault config yields the fault-free
+// baseline on the identical topology.
+func RunFaultReplay(serviceKey string, cfg trace.Config, faults faultinject.Config, seed int64) (*FaultReplayResult, error) {
+	svc, err := catalog.ByKey(serviceKey)
+	if err != nil {
+		return nil, err
+	}
+	var res *FaultReplayResult
+	var runErr error
+	clk := vclock.New()
+	clk.Run(func() {
+		tb, err := New(clk, Options{
+			WithDocker:          true,
+			WithFarEdge:         true,
+			Faults:              &faults,
+			HealthProbeInterval: 10 * time.Second,
+			Seed:                seed,
+		})
+		if err != nil {
+			runErr = err
+			return
+		}
+		handles, err := tb.RegisterMany(svc, cfg.HotServices)
+		if err != nil {
+			runErr = err
+			return
+		}
+		tr := trace.Generate(cfg)
+		totals, errors := tb.ReplayTrace(tr, handles)
+		res = &FaultReplayResult{
+			Totals:   totals,
+			Requests: len(tr.Requests),
+			Errors:   errors,
+			Stats:    tb.Controller.Stats(),
+			Injected: tb.Faults.Stats(),
+		}
+	})
+	if runErr != nil {
+		return nil, runErr
+	}
+	return res, nil
+}

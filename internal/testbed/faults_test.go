@@ -1,0 +1,92 @@
+package testbed
+
+import (
+	"testing"
+	"time"
+
+	"github.com/c3lab/transparentedge/internal/faultinject"
+	"github.com/c3lab/transparentedge/internal/trace"
+)
+
+// faultTraceConfig is a reduced bigFlows workload (12 services, 480
+// requests over 3 minutes) that still spans the configured outage
+// window.
+func faultTraceConfig() trace.Config {
+	cfg := trace.DefaultBigFlows()
+	cfg.HotServices = 12
+	cfg.TotalRequests = 480
+	cfg.Duration = 3 * time.Minute
+	cfg.NoiseServices = 0
+	cfg.NonHTTPConversations = 0
+	cfg.Seed = 7
+	return cfg
+}
+
+func TestFaultReplaySurvivesAndReproduces(t *testing.T) {
+	cfg := faultTraceConfig()
+	faults := DefaultFaultConfig(7)
+
+	a, err := RunFaultReplay("nginx", cfg, faults, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Acceptance: every client request completes despite 10 % pull and
+	// scale-up failures plus a 30 s outage — failover or cloud fallback,
+	// zero blackholed flows.
+	if a.Errors != 0 {
+		t.Fatalf("%d of %d requests failed under fault injection", a.Errors, a.Requests)
+	}
+	if a.Totals.Len() != a.Requests {
+		t.Fatalf("completed %d of %d requests", a.Totals.Len(), a.Requests)
+	}
+	// The plan really fired: this run is not accidentally fault-free.
+	if a.Injected.PullFailures == 0 {
+		t.Error("no pull faults injected at a 10% rate")
+	}
+	if a.Injected.OutageErrors == 0 {
+		t.Error("the outage window injected nothing")
+	}
+	// And the controller actually needed its resilience machinery.
+	if a.Stats.Retries == 0 {
+		t.Error("no retries recorded despite injected failures")
+	}
+	if a.Stats.Failovers == 0 && a.Stats.CloudForwards == 0 {
+		t.Error("neither failover nor cloud fallback ever engaged")
+	}
+
+	// Acceptance: the same seed reproduces identical counters.
+	b, err := RunFaultReplay("nginx", cfg, faults, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Injected != b.Injected {
+		t.Errorf("injected stats diverged:\n  %+v\n  %+v", a.Injected, b.Injected)
+	}
+	if a.Stats != b.Stats {
+		t.Errorf("controller stats diverged:\n  %+v\n  %+v", a.Stats, b.Stats)
+	}
+	if a.Totals.Len() != b.Totals.Len() || a.Errors != b.Errors {
+		t.Errorf("request outcomes diverged: %d/%d vs %d/%d",
+			a.Totals.Len(), a.Errors, b.Totals.Len(), b.Errors)
+	}
+}
+
+func TestFaultFreeBaselineInjectsNothing(t *testing.T) {
+	cfg := faultTraceConfig()
+	cfg.TotalRequests = 240
+	cfg.HotServices = 8
+	res, err := RunFaultReplay("nginx", cfg, faultinject.Config{Seed: 7}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("%d of %d requests failed without faults", res.Errors, res.Requests)
+	}
+	if res.Injected != (faultinject.Stats{}) {
+		t.Errorf("zero-valued fault config injected faults: %+v", res.Injected)
+	}
+	if res.Stats.Retries != 0 || res.Stats.Failovers != 0 {
+		t.Errorf("resilience machinery engaged on a fault-free run: %d retries, %d failovers",
+			res.Stats.Retries, res.Stats.Failovers)
+	}
+}

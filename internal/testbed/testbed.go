@@ -16,6 +16,7 @@ import (
 	"github.com/c3lab/transparentedge/internal/core"
 	"github.com/c3lab/transparentedge/internal/docker"
 	"github.com/c3lab/transparentedge/internal/faas"
+	"github.com/c3lab/transparentedge/internal/faultinject"
 	"github.com/c3lab/transparentedge/internal/kube"
 	"github.com/c3lab/transparentedge/internal/netem"
 	"github.com/c3lab/transparentedge/internal/openflow"
@@ -77,6 +78,20 @@ type Options struct {
 	KubeSchedulers map[string]kube.NodePicker
 	// OnDeploy taps the controller's per-phase deployment timings.
 	OnDeploy func(core.DeployTrace)
+	// Faults, when set, wraps every edge cluster and the image registry
+	// in a seeded fault-injection plan (the cloud origin stays
+	// fault-free: it is the guaranteed fallback).
+	Faults *faultinject.Config
+	// RetryMax / BreakerThreshold / BreakerCooldown / HealthProbeInterval
+	// pass through to the controller's resilience knobs (zero keeps the
+	// controller defaults; HealthProbeInterval zero disables the prober).
+	RetryMax            int
+	BreakerThreshold    int
+	BreakerCooldown     time.Duration
+	HealthProbeInterval time.Duration
+	// DeployTimeout overrides the controller's end-to-end deployment
+	// deadline.
+	DeployTimeout time.Duration
 	// Seed drives all deterministic jitter.
 	Seed int64
 }
@@ -114,6 +129,9 @@ type Testbed struct {
 	Net        *netem.Network
 	Switch     *openflow.Switch
 	Controller *core.Controller
+	// Faults is the active fault-injection plan (nil without Faults
+	// options).
+	Faults *faultinject.Plan
 
 	Docker  *cluster.DockerCluster
 	Kube    *cluster.KubeCluster
@@ -159,6 +177,12 @@ func New(clk vclock.Clock, opts Options) (*Testbed, error) {
 	catalog.PushAllTo(tb.Private)
 	catalog.PushWasm(tb.Hub)
 	catalog.PushWasm(tb.Private)
+
+	// The fault plan must exist before the clusters are built:
+	// defaultRegistry routes their pulls through it.
+	if opts.Faults != nil {
+		tb.Faults = faultinject.NewPlan(clk, *opts.Faults)
+	}
 
 	// Switch port plan: clients, EGS, far edge, controller, cloud, one
 	// port per extra Kubernetes node, and a trunk to the second gNB.
@@ -347,6 +371,16 @@ func New(clk vclock.Clock, opts Options) (*Testbed, error) {
 		}
 	}
 
+	// The controller sees the clusters through the fault plan; the cloud
+	// origin stays unwrapped — it is the fallback that must always work.
+	if tb.Faults != nil {
+		for i := range clusters {
+			if clusters[i] != cluster.Cluster(tb.Cloud) {
+				clusters[i] = tb.Faults.WrapCluster(clusters[i])
+			}
+		}
+	}
+
 	ctrl, err := core.New(clk, core.Config{
 		Host:            ctrlHost,
 		Switch:          sw,
@@ -358,16 +392,21 @@ func New(clk vclock.Clock, opts Options) (*Testbed, error) {
 			Wait:    opts.Wait,
 			MaxWait: opts.MaxWait,
 		},
-		LocalSchedulers:   opts.LocalSchedulers,
-		SwitchFlowIdle:    opts.SwitchFlowIdle,
-		MemoryIdle:        opts.MemoryIdle,
-		ProbeInterval:     opts.ProbeInterval,
-		ScaleDownIdle:     opts.ScaleDownIdle,
-		RemoveOnIdle:      opts.RemoveOnIdle,
-		DisableFlowMemory: opts.DisableFlowMemory,
-		ProactiveDeploy:   opts.ProactiveDeploy,
-		OnDeploy:          opts.OnDeploy,
-		Seed:              opts.Seed + 40,
+		LocalSchedulers:     opts.LocalSchedulers,
+		SwitchFlowIdle:      opts.SwitchFlowIdle,
+		MemoryIdle:          opts.MemoryIdle,
+		ProbeInterval:       opts.ProbeInterval,
+		DeployTimeout:       opts.DeployTimeout,
+		RetryMax:            opts.RetryMax,
+		BreakerThreshold:    opts.BreakerThreshold,
+		BreakerCooldown:     opts.BreakerCooldown,
+		HealthProbeInterval: opts.HealthProbeInterval,
+		ScaleDownIdle:       opts.ScaleDownIdle,
+		RemoveOnIdle:        opts.RemoveOnIdle,
+		DisableFlowMemory:   opts.DisableFlowMemory,
+		ProactiveDeploy:     opts.ProactiveDeploy,
+		OnDeploy:            opts.OnDeploy,
+		Seed:                opts.Seed + 40,
 	})
 	if err != nil {
 		return nil, err
@@ -381,13 +420,19 @@ func New(clk vclock.Clock, opts Options) (*Testbed, error) {
 // the private registry on the local network, or a federation of Docker
 // Hub and GCR routed by reference (ResNet lives on "gcr.io/...").
 func (tb *Testbed) defaultRegistry() registry.Remote {
+	var rem registry.Remote
 	if tb.Opts.UsePrivateRegistry {
-		return tb.Private
+		rem = tb.Private
+	} else {
+		rem = &registry.Federation{
+			Default: tb.Hub,
+			Routes:  map[string]registry.Remote{"gcr.io/": tb.GCR},
+		}
 	}
-	return &registry.Federation{
-		Default: tb.Hub,
-		Routes:  map[string]registry.Remote{"gcr.io/": tb.GCR},
+	if tb.Faults != nil {
+		rem = tb.Faults.WrapRemote(rem)
 	}
+	return rem
 }
 
 // Client returns client host i.

@@ -137,15 +137,17 @@ func clientOfFirstRequest(tr *trace.Trace, service int) int {
 }
 
 // ReplayTrace replays the full request trace (all 1708 requests) and
-// returns per-request totals plus controller stats afterwards.
-func (tb *Testbed) ReplayTrace(tr *trace.Trace, handles []*ServiceHandle) *metrics.Series {
+// returns per-request totals plus the number of failed requests — under
+// fault injection, a non-zero error count means clients saw blackholed
+// flows.
+func (tb *Testbed) ReplayTrace(tr *trace.Trace, handles []*ServiceHandle) (*metrics.Series, int) {
 	totals := metrics.NewSeries("time_total")
-	var mu vclock.Group
+	var g vclock.Group
 	results := make([]time.Duration, len(tr.Requests))
 	ok := make([]bool, len(tr.Requests))
 	for i, req := range tr.Requests {
 		i, req := i, req
-		mu.Go(tb.Clock, func() {
+		g.Go(tb.Clock, func() {
 			tb.Clock.Sleep(req.At)
 			h := handles[req.Service%len(handles)]
 			r, err := tb.Request(req.Client, h)
@@ -156,11 +158,14 @@ func (tb *Testbed) ReplayTrace(tr *trace.Trace, handles []*ServiceHandle) *metri
 			ok[i] = true
 		})
 	}
-	mu.Wait(tb.Clock)
+	g.Wait(tb.Clock)
+	errors := 0
 	for i := range results {
 		if ok[i] {
 			totals.Add(results[i])
+		} else {
+			errors++
 		}
 	}
-	return totals
+	return totals, errors
 }
