@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet check bench
+.PHONY: build test race vet check bench bench-scale bench-save
 
 build:
 	$(GO) build ./...
@@ -20,3 +20,14 @@ check: vet build race
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .
+
+# bench-scale runs the wall-clock control-plane scale benchmarks: the
+# parallel packet-in throughput path and FlowMemory under a large
+# resident population.
+bench-scale:
+	$(GO) test -bench='PacketInThroughput|FlowMemoryScale' -benchtime=2s -benchmem -run=^$$ ./internal/core/
+
+# bench-save archives a bench-scale run to the next free BENCH_<n>.json
+# (parsed results plus benchstat-compatible raw output).
+bench-save:
+	$(GO) test -bench='PacketInThroughput|FlowMemoryScale' -benchtime=2s -benchmem -run=^$$ ./internal/core/ | $(GO) run ./cmd/benchsave

@@ -225,6 +225,29 @@ func BenchmarkTransparentAccessOverhead(b *testing.B) {
 	b.ReportMetric(simMS(res.ColdDispatch.Median()), "sim-ms-cold-dispatch")
 }
 
+// BenchmarkScaleDispatch runs the control-plane scale experiment: a
+// packet-in storm from a large client population against one
+// pre-deployed service — a cold wave of FlowMemory misses sharing one
+// candidate snapshot, then a warm wave of FlowMemory hits.
+func BenchmarkScaleDispatch(b *testing.B) {
+	for _, clients := range []int{20, 100} {
+		b.Run(fmt.Sprintf("clients=%d", clients), func(b *testing.B) {
+			var res *testbed.ScaleResult
+			var err error
+			for i := 0; i < b.N; i++ {
+				res, err = testbed.RunScale("nginx", clients, int64(i+1))
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(simMS(res.Cold.Median()), "sim-ms-cold")
+			b.ReportMetric(simMS(res.Warm.Median()), "sim-ms-warm")
+			b.ReportMetric(float64(res.Stats.CandidateHits), "cand-hits")
+			b.ReportMetric(float64(res.Stats.CandidateMisses), "cand-misses")
+		})
+	}
+}
+
 // BenchmarkTraceReplay runs a reduced end-to-end replay of the bigFlows
 // workload through the complete system.
 func BenchmarkTraceReplay(b *testing.B) {

@@ -1,0 +1,107 @@
+// Command benchsave archives a benchmark run: it reads `go test -bench`
+// output on stdin, parses the result lines, and writes them — together
+// with the benchstat-compatible raw text — to the next free
+// BENCH_<n>.json in the current directory. Used by `make bench-save` to
+// keep before/after records of control-plane performance work.
+//
+//	go test -bench=. -benchtime=2s -run='^$' ./internal/core/ | go run ./cmd/benchsave
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// resultLine matches one benchmark result, e.g.
+//
+//	BenchmarkPacketInThroughput-4   303165   12592 ns/op   5 allocs/op
+var resultLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+(.*)$`)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name       string `json:"name"`
+	Iterations int64  `json:"iterations"`
+	// Metrics maps unit → value: "ns/op", "B/op", "allocs/op", and any
+	// custom b.ReportMetric units such as "sim-ms-median".
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Record is the archived run.
+type Record struct {
+	Created    string   `json:"created"`
+	GoVersion  string   `json:"go"`
+	Host       string   `json:"host,omitempty"`
+	Benchmarks []Result `json:"benchmarks"`
+	// Raw preserves the exact benchmark output for benchstat.
+	Raw []string `json:"raw"`
+}
+
+func main() {
+	rec := Record{
+		Created:   time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+	}
+	if h, err := os.Hostname(); err == nil {
+		rec.Host = h
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		rec.Raw = append(rec.Raw, line)
+		m := resultLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		iters, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			continue
+		}
+		res := Result{Name: m[1], Iterations: iters, Metrics: map[string]float64{}}
+		fields := strings.Fields(m[3])
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			res.Metrics[fields[i+1]] = v
+		}
+		rec.Benchmarks = append(rec.Benchmarks, res)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchsave: read: %v\n", err)
+		os.Exit(1)
+	}
+	if len(rec.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchsave: no benchmark results on stdin")
+		os.Exit(1)
+	}
+	path := nextPath()
+	out, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchsave: encode: %v\n", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchsave: write: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("benchsave: %d benchmark(s) → %s\n", len(rec.Benchmarks), path)
+}
+
+// nextPath returns the first unused BENCH_<n>.json.
+func nextPath() string {
+	for n := 1; ; n++ {
+		path := fmt.Sprintf("BENCH_%d.json", n)
+		if _, err := os.Stat(path); os.IsNotExist(err) {
+			return path
+		}
+	}
+}

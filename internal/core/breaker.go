@@ -20,8 +20,8 @@ func (c *Controller) breakerAllows(clusterName string) bool {
 	if c.cfg.BreakerThreshold <= 0 {
 		return true
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.brMu.Lock()
+	defer c.brMu.Unlock()
 	st, ok := c.breakers[clusterName]
 	if !ok || !st.tripped {
 		return true
@@ -30,12 +30,14 @@ func (c *Controller) breakerAllows(clusterName string) bool {
 }
 
 // breakerRecord feeds one deployment outcome into the cluster's breaker.
+// Trips and recoveries change which clusters candidate gathering may
+// use, so both invalidate the candidate snapshot cache.
 func (c *Controller) breakerRecord(clusterName string, success bool) {
 	if c.cfg.BreakerThreshold <= 0 {
 		return
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.brMu.Lock()
+	defer c.brMu.Unlock()
 	st, ok := c.breakers[clusterName]
 	if !ok {
 		st = &breakerState{}
@@ -44,7 +46,8 @@ func (c *Controller) breakerRecord(clusterName string, success bool) {
 	if success {
 		if st.tripped {
 			st.tripped = false
-			c.stats.BreakerRecoveries++
+			c.stats.breakerRecoveries.Add(1)
+			c.cands.bump()
 		}
 		st.consecFails = 0
 		return
@@ -57,6 +60,7 @@ func (c *Controller) breakerRecord(clusterName string, success bool) {
 	case st.consecFails >= c.cfg.BreakerThreshold:
 		st.tripped = true
 		st.openUntil = c.clk.Now().Add(c.cfg.BreakerCooldown)
-		c.stats.BreakerTrips++
+		c.stats.breakerTrips.Add(1)
+		c.cands.bump()
 	}
 }

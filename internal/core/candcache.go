@@ -1,0 +1,107 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// candCache memoizes the Dispatcher's candidate gathering per
+// (service, ingress zone) for a short TTL. Without it, every packet-in
+// that misses the FlowMemory interrogates every cluster
+// (Instances/Created/HasImages/CanHost) — four virtual calls per
+// cluster per request, all touching per-cluster locks. Under a
+// packet-in storm for the same service the answers are identical, so
+// one gathered snapshot serves every miss in the window.
+//
+// Freshness has two guards:
+//
+//   - a TTL in simulation time, so an idle cache cannot serve
+//     arbitrarily old cluster state; and
+//   - a global epoch, bumped by every controller action that changes
+//     what a gather would see (deployment completion or failure,
+//     scale-down, breaker transition, health eviction, registration).
+//     Any bump invalidates every snapshot at once — invalidation is
+//     deliberately coarse: correctness never depends on the cache,
+//     only the miss path's cost does.
+type candCache struct {
+	ttl   time.Duration
+	epoch atomic.Uint64
+
+	shards [numShards]candShard
+}
+
+type candKey struct {
+	service string
+	zone    string
+}
+
+type candShard struct {
+	mu sync.Mutex
+	m  map[candKey]*candEntry
+}
+
+type candEntry struct {
+	epoch      uint64
+	expires    time.Time
+	candidates []Candidate
+}
+
+// newCandCache returns a cache with the given TTL; a non-positive TTL
+// disables caching entirely (every get misses).
+func newCandCache(ttl time.Duration) *candCache {
+	c := &candCache{ttl: ttl}
+	for i := range c.shards {
+		c.shards[i].m = make(map[candKey]*candEntry)
+	}
+	return c
+}
+
+func (c *candCache) shardFor(k candKey) *candShard {
+	h := fnvString(fnvOffset64, k.service)
+	h = fnvByte(h, '/')
+	h = fnvString(h, k.zone)
+	return &c.shards[h&(numShards-1)]
+}
+
+// bump invalidates every cached snapshot: cluster state changed.
+func (c *candCache) bump() { c.epoch.Add(1) }
+
+// get returns the cached candidate snapshot for (service, zone) if it
+// is both within its TTL and from the current epoch. The returned slice
+// is shared and must be treated as read-only (the schedulers copy
+// before sorting).
+func (c *candCache) get(service, zone string, now time.Time) ([]Candidate, bool) {
+	if c.ttl <= 0 {
+		return nil, false
+	}
+	key := candKey{service: service, zone: zone}
+	s := c.shardFor(key)
+	s.mu.Lock()
+	e, ok := s.m[key]
+	if !ok || e.epoch != c.epoch.Load() || !now.Before(e.expires) {
+		s.mu.Unlock()
+		return nil, false
+	}
+	cands := e.candidates
+	s.mu.Unlock()
+	return cands, true
+}
+
+// put stores a freshly gathered snapshot. The epoch is re-read at store
+// time: a concurrent bump between gather and put leaves the entry
+// already stale, which is the safe direction.
+func (c *candCache) put(service, zone string, now time.Time, cands []Candidate) {
+	if c.ttl <= 0 {
+		return
+	}
+	key := candKey{service: service, zone: zone}
+	s := c.shardFor(key)
+	s.mu.Lock()
+	s.m[key] = &candEntry{
+		epoch:      c.epoch.Load(),
+		expires:    now.Add(c.ttl),
+		candidates: cands,
+	}
+	s.mu.Unlock()
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/c3lab/transparentedge/internal/cluster"
@@ -77,6 +78,13 @@ type Config struct {
 	// redeploys instead of blackholing into stale redirect flows.
 	// Zero disables the prober.
 	HealthProbeInterval time.Duration
+	// CandidateTTL bounds how long a gathered per-(service, zone)
+	// candidate snapshot may serve dispatch misses before the clusters
+	// are interrogated again. Any deployment completion, scale-down,
+	// breaker transition, health eviction, or registration invalidates
+	// all snapshots immediately regardless of the TTL. Zero selects the
+	// default (100 ms); negative disables the cache.
+	CandidateTTL time.Duration
 	// SwitchFlowIdle is the (low) idle timeout of installed switch
 	// flows.
 	SwitchFlowIdle time.Duration
@@ -138,6 +146,11 @@ func (c Config) withDefaults() Config {
 	}
 	if out.BreakerCooldown <= 0 {
 		out.BreakerCooldown = 30 * time.Second
+	}
+	if out.CandidateTTL == 0 {
+		out.CandidateTTL = 100 * time.Millisecond
+	} else if out.CandidateTTL < 0 {
+		out.CandidateTTL = 0 // disabled
 	}
 	return out
 }
@@ -210,30 +223,58 @@ type Stats struct {
 	// HealthEvictions counts instances the background health prober
 	// found dead and evicted from the FlowMemory.
 	HealthEvictions int64
+	// CandidateHits / CandidateMisses count dispatches served from the
+	// per-(service, zone) candidate snapshot cache vs full gathers.
+	CandidateHits   int64
+	CandidateMisses int64
+}
+
+// svcTables is the read-mostly service registry. Lookups on the
+// packet-in hot path load an immutable snapshot through an atomic
+// pointer — zero locks, zero contention; registration (rare) builds a
+// fresh copy under regMu and swaps the pointer.
+type svcTables struct {
+	services map[netem.HostPort]*Service
+	byCookie map[uint64]*Service
+	byName   map[string]*Service
 }
 
 // Controller is the SDN controller: the paper's contribution.
 type Controller struct {
 	cfg   Config
 	clk   vclock.Clock
-	rng   *vclock.Rand
 	sched GlobalScheduler
 	fm    *FlowMemory
 
 	switches []*openflow.Switch
 	conns    []switchConn
 
+	// svc is the copy-on-write service registry (see svcTables).
+	svc atomic.Pointer[svcTables]
+	// regMu serializes registrations and cookie assignment.
+	regMu      sync.Mutex
+	nextCookie uint64
+
+	// clients shards client tracking and packet-in dedup by client
+	// address: concurrent packet-ins from distinct clients take
+	// distinct shard locks.
+	clients *clientTable
+
+	// cands caches gathered dispatch candidates per (service, zone).
+	cands *candCache
+
+	// stats is the atomic counter bank (see statCounters).
+	stats statCounters
+
+	// mu guards the deployment records and the start flag — cold-path
+	// state only; the packet-in fast path never takes it.
 	mu          sync.Mutex
-	services    map[netem.HostPort]*Service
-	byCookie    map[uint64]*Service
-	byName      map[string]*Service
-	nextCookie  uint64
 	deployments map[deployKey]*deployState
-	pending     map[flowKey]bool
-	clients     map[netem.IP]ClientLocation
-	breakers    map[string]*breakerState
-	stats       Stats
 	started     bool
+
+	// brMu guards the per-cluster circuit breakers.
+	brMu     sync.Mutex
+	breakers map[string]*breakerState
 }
 
 // switchConn pairs one managed switch with its control channels.
@@ -289,17 +330,18 @@ func New(clk vclock.Clock, cfg Config) (*Controller, error) {
 	c := &Controller{
 		cfg:         cfg,
 		clk:         clk,
-		rng:         vclock.NewRand(cfg.Seed),
 		sched:       sched,
 		fm:          NewFlowMemory(clk, cfg.MemoryIdle),
-		services:    make(map[netem.HostPort]*Service),
-		byCookie:    make(map[uint64]*Service),
-		byName:      make(map[string]*Service),
+		clients:     newClientTable(),
+		cands:       newCandCache(cfg.CandidateTTL),
 		deployments: make(map[deployKey]*deployState),
-		pending:     make(map[flowKey]bool),
-		clients:     make(map[netem.IP]ClientLocation),
 		breakers:    make(map[string]*breakerState),
 	}
+	c.svc.Store(&svcTables{
+		services: make(map[netem.HostPort]*Service),
+		byCookie: make(map[uint64]*Service),
+		byName:   make(map[string]*Service),
+	})
 	c.switches = append([]*openflow.Switch{cfg.Switch}, cfg.ExtraSwitches...)
 	for _, sw := range c.switches {
 		pins, rems := sw.Connect()
@@ -313,32 +355,20 @@ func New(clk vclock.Clock, cfg Config) (*Controller, error) {
 
 // ClientLocation returns where a client was last seen, if ever.
 func (c *Controller) ClientLocation(ip netem.IP) (ClientLocation, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	loc, ok := c.clients[ip]
-	return loc, ok
-}
-
-// trackClient records the ingress location of a packet-in.
-func (c *Controller) trackClient(ip netem.IP, sw *openflow.Switch, inPort int) {
-	c.mu.Lock()
-	c.clients[ip] = ClientLocation{Switch: sw.DeviceName(), InPort: inPort, LastSeen: c.clk.Now()}
-	c.mu.Unlock()
+	return c.clients.location(ip)
 }
 
 // FlowMemory exposes the controller's flow memory (for inspection).
 func (c *Controller) FlowMemory() *FlowMemory { return c.fm }
 
 // Stats returns a snapshot of the controller counters.
-func (c *Controller) Stats() Stats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.stats
-}
+func (c *Controller) Stats() Stats { return c.stats.snapshot() }
 
 // RegisterService registers a service by its public address and lean
 // YAML definition: the definition is annotated, the derived spec
 // stored, and the intercept (punt) rule installed in the switch.
+// The service tables are copy-on-write: registration clones them and
+// swaps one atomic pointer, so packet-in lookups never block on it.
 func (c *Controller) RegisterService(addr netem.HostPort, definition string) (*Service, error) {
 	annotated, err := Annotate(definition, AnnotateOptions{
 		UniqueName:  UniqueNameFor(addr),
@@ -347,9 +377,10 @@ func (c *Controller) RegisterService(addr netem.HostPort, definition string) (*S
 	if err != nil {
 		return nil, err
 	}
-	c.mu.Lock()
-	if _, dup := c.services[addr]; dup {
-		c.mu.Unlock()
+	c.regMu.Lock()
+	old := c.svc.Load()
+	if _, dup := old.services[addr]; dup {
+		c.regMu.Unlock()
 		return nil, fmt.Errorf("core: service %s already registered", addr)
 	}
 	c.nextCookie++
@@ -360,10 +391,26 @@ func (c *Controller) RegisterService(addr netem.HostPort, definition string) (*S
 		Annotated:  annotated,
 		cookie:     c.nextCookie,
 	}
-	c.services[addr] = svc
-	c.byCookie[svc.cookie] = svc
-	c.byName[svc.Name] = svc
-	c.mu.Unlock()
+	next := &svcTables{
+		services: make(map[netem.HostPort]*Service, len(old.services)+1),
+		byCookie: make(map[uint64]*Service, len(old.byCookie)+1),
+		byName:   make(map[string]*Service, len(old.byName)+1),
+	}
+	for k, v := range old.services {
+		next.services[k] = v
+	}
+	for k, v := range old.byCookie {
+		next.byCookie[k] = v
+	}
+	for k, v := range old.byName {
+		next.byName[k] = v
+	}
+	next.services[addr] = svc
+	next.byCookie[svc.cookie] = svc
+	next.byName[svc.Name] = svc
+	c.svc.Store(next)
+	c.regMu.Unlock()
+	c.cands.bump()
 
 	// Intercept requests for the registered address (Fig. 2) on every
 	// managed ingress switch.
@@ -392,7 +439,7 @@ func (c *Controller) RegisterService(addr netem.HostPort, definition string) (*S
 			target := best
 			c.clk.Go(func() {
 				if _, err := c.deploy(svc, target); err != nil {
-					c.count(func(s *Stats) { s.DeployFailures++ })
+					c.stats.deployFailures.Add(1)
 				}
 			})
 		}
@@ -410,17 +457,13 @@ func (c *Controller) specForCluster(spec cluster.Spec, cl cluster.Cluster) clust
 
 // ServiceByAddr returns the service registered at addr.
 func (c *Controller) ServiceByAddr(addr netem.HostPort) (*Service, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	svc, ok := c.services[addr]
+	svc, ok := c.svc.Load().services[addr]
 	return svc, ok
 }
 
 // ServiceByName returns the service with the given unique name.
 func (c *Controller) ServiceByName(name string) (*Service, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	svc, ok := c.byName[name]
+	svc, ok := c.svc.Load().byName[name]
 	return svc, ok
 }
 
@@ -459,21 +502,12 @@ func (c *Controller) Start() {
 	}
 }
 
-// count mutates one stats counter under the lock.
-func (c *Controller) count(f func(*Stats)) {
-	c.mu.Lock()
-	f(&c.stats)
-	c.mu.Unlock()
-}
-
 // handleFlowRemoved refreshes the flow memory when switch flows expire:
 // the removal implies traffic existed until a moment ago, so the
 // memorized mapping stays warm a while longer.
 func (c *Controller) handleFlowRemoved(msg openflow.FlowRemoved) {
-	c.count(func(s *Stats) { s.FlowRemovedMsgs++ })
-	c.mu.Lock()
-	svc, ok := c.byCookie[msg.Cookie]
-	c.mu.Unlock()
+	c.stats.flowRemovedMsgs.Add(1)
+	svc, ok := c.svc.Load().byCookie[msg.Cookie]
 	if !ok || !msg.IdleTimeout {
 		return
 	}
@@ -489,11 +523,10 @@ func (c *Controller) handleFlowRemoved(msg openflow.FlowRemoved) {
 // onServiceIdle is the scale-down hook: the last memorized flow of the
 // service expired.
 func (c *Controller) onServiceIdle(svcName string) {
-	c.mu.Lock()
-	if _, ok := c.byName[svcName]; !ok {
-		c.mu.Unlock()
+	if _, ok := c.svc.Load().byName[svcName]; !ok {
 		return
 	}
+	c.mu.Lock()
 	var targets []struct {
 		cl    cluster.Cluster
 		state *deployState
@@ -515,21 +548,22 @@ func (c *Controller) onServiceIdle(svcName string) {
 			// The instance is still up: keep the deployment record so
 			// controller state matches the cluster, and let a later idle
 			// expiry try again.
-			c.count(func(s *Stats) { s.ScaleDownFailures++ })
+			c.stats.scaleDownFailures.Add(1)
 			c.mu.Lock()
 			t.state.scaledDown = false
 			c.mu.Unlock()
 			continue
 		}
-		c.count(func(s *Stats) { s.ScaleDowns++ })
+		c.stats.scaleDowns.Add(1)
 		if c.cfg.RemoveOnIdle {
 			if err := t.cl.Remove(svcName); err == nil {
-				c.count(func(s *Stats) { s.Removes++ })
+				c.stats.removes.Add(1)
 			}
 		}
 		// Forget the deployment so the next request redeploys.
 		c.mu.Lock()
 		delete(c.deployments, deployKey{service: svcName, cluster: t.cl.Name()})
 		c.mu.Unlock()
+		c.cands.bump()
 	}
 }

@@ -108,6 +108,44 @@ func TestFlowMemoryRememberReplaces(t *testing.T) {
 	})
 }
 
+func TestFlowMemoryRememberRetags(t *testing.T) {
+	// Re-remembering an existing flow under a different service name
+	// must re-tag the entry: the per-service counts driving idle
+	// scale-down follow the rename instead of drifting (the old name
+	// keeping a phantom count, the new name missing one).
+	clk := vclock.New()
+	clk.Run(func() {
+		fm := NewFlowMemory(clk, 2*time.Second)
+		var idled []string
+		fm.OnServiceIdle = func(s string) { idled = append(idled, s) }
+		svc := netem.ParseHostPort("203.0.113.1:80")
+		client := netem.ParseIP("192.168.1.10")
+		a := cluster.Instance{Addr: netem.ParseHostPort("10.0.0.2:1"), Cluster: "a"}
+		b := cluster.Instance{Addr: netem.ParseHostPort("10.0.0.2:2"), Cluster: "b"}
+		fm.Remember(client, svc, "edge-old", a)
+		fm.Remember(client, svc, "edge-new", b)
+		if n := fm.ServiceFlows("edge-old"); n != 0 {
+			t.Errorf("ServiceFlows(edge-old) = %d, want 0 after re-tag", n)
+		}
+		if n := fm.ServiceFlows("edge-new"); n != 1 {
+			t.Errorf("ServiceFlows(edge-new) = %d, want 1 after re-tag", n)
+		}
+		if fm.Len() != 1 {
+			t.Errorf("Len = %d, want 1", fm.Len())
+		}
+		// Dropping the old name's count by re-tagging is not an idle
+		// expiry: the scale-down hook stays silent, like explicit Forget.
+		if len(idled) != 0 {
+			t.Errorf("idle hooks %v fired on re-tag", idled)
+		}
+		// Idle expiry reports the current (new) name.
+		clk.Sleep(5 * time.Second)
+		if len(idled) != 1 || idled[0] != "edge-new" {
+			t.Errorf("idle hooks after expiry = %v, want [edge-new]", idled)
+		}
+	})
+}
+
 // fakeCluster is a minimal Cluster for scheduler unit tests.
 type fakeCluster struct {
 	cluster.StaticCluster

@@ -2,7 +2,7 @@ package core
 
 import (
 	"fmt"
-	"hash/fnv"
+	"strconv"
 	"time"
 
 	"github.com/c3lab/transparentedge/internal/cluster"
@@ -16,8 +16,14 @@ import (
 // decision, on-demand deployment of whichever choices need it, flow
 // installation, and finally the release of the held packet. sw is the
 // ingress switch the packet entered through.
+//
+// The prologue is deliberately lock-light: the packet-in count is one
+// atomic add, the service lookup reads an immutable snapshot, and
+// client tracking plus SYN-retransmit dedup share a single shard lock
+// (trackAndClaim) — so the memorized-flow fast path takes at most one
+// shard lock besides the FlowMemory's own.
 func (c *Controller) handlePacketIn(sw *openflow.Switch, pin openflow.PacketIn) {
-	c.count(func(s *Stats) { s.PacketIns++ })
+	c.stats.packetIns.Add(1)
 	svc, ok := c.ServiceByAddr(pin.Pkt.Dst)
 	if !ok {
 		// Not a registered service: behave like a plain switch.
@@ -25,29 +31,25 @@ func (c *Controller) handlePacketIn(sw *openflow.Switch, pin openflow.PacketIn) 
 		return
 	}
 	client := pin.Pkt.Src.IP
-	c.trackClient(client, sw, pin.InPort)
 	key := flowKey{client: client, service: svc.Addr}
 
-	// Deduplicate concurrent packet-ins (e.g. SYN retransmissions while
-	// a deployment holds the first request).
-	c.mu.Lock()
-	if c.pending[key] {
-		c.mu.Unlock()
+	// Track the client's ingress location and deduplicate concurrent
+	// packet-ins (e.g. SYN retransmissions while a deployment holds the
+	// first request) in one shard critical section.
+	if c.clients.trackAndClaim(key, ClientLocation{
+		Switch:   sw.DeviceName(),
+		InPort:   pin.InPort,
+		LastSeen: c.clk.Now(),
+	}) {
 		return // the original held packet will be released later
 	}
-	c.pending[key] = true
-	c.mu.Unlock()
-	defer func() {
-		c.mu.Lock()
-		delete(c.pending, key)
-		c.mu.Unlock()
-	}()
+	defer c.clients.release(key)
 
 	// Fast path: memorized flow — reinstall without calling the
 	// Scheduler.
 	if !c.cfg.DisableFlowMemory {
 		if inst, ok := c.fm.Lookup(client, svc.Addr); ok {
-			c.count(func(s *Stats) { s.MemoryHits++ })
+			c.stats.memoryHits.Add(1)
 			c.installRedirect(sw, client, svc, inst)
 			sw.PacketOut(pin.Pkt, pin.InPort, nil)
 			return
@@ -72,41 +74,56 @@ func (c *Controller) handlePacketIn(sw *openflow.Switch, pin openflow.PacketIn) 
 // evaluated from the client's ingress zone (the switch the packet
 // entered through), so clients behind different gNBs get different
 // optimal edges.
+//
+// Candidate gathering is memoized per (service, zone) for a short TTL:
+// under a packet-in storm the cluster answers are identical, so one
+// snapshot serves every miss in the window instead of four virtual
+// calls per cluster per request. Any deployment, scale-down, breaker
+// transition, health eviction, or registration invalidates the cache.
 func (c *Controller) dispatch(sw *openflow.Switch, svc *Service, client netem.IP) (cluster.Instance, bool) {
-	c.count(func(s *Stats) { s.ScheduleCalls++ })
-	zone := c.cfg.ZoneLatency[sw.DeviceName()]
-	candidates := make([]Candidate, 0, len(c.cfg.Clusters))
-	for _, cl := range c.cfg.Clusters {
-		if !c.breakerAllows(cl.Name()) {
-			// Circuit open: the cluster keeps failing deployments, skip it
-			// until the cooldown admits a half-open probe.
-			continue
+	c.stats.scheduleCalls.Add(1)
+	zoneName := sw.DeviceName()
+	now := c.clk.Now()
+	candidates, cached := c.cands.get(svc.Name, zoneName, now)
+	if cached {
+		c.stats.candidateHits.Add(1)
+	} else {
+		c.stats.candidateMisses.Add(1)
+		zone := c.cfg.ZoneLatency[zoneName]
+		candidates = make([]Candidate, 0, len(c.cfg.Clusters))
+		for _, cl := range c.cfg.Clusters {
+			if !c.breakerAllows(cl.Name()) {
+				// Circuit open: the cluster keeps failing deployments, skip it
+				// until the cooldown admits a half-open probe.
+				continue
+			}
+			spec := c.specFor(svc, cl)
+			latency := cl.Location().Latency
+			if override, ok := zone[cl.Name()]; ok {
+				latency = override
+			}
+			candidates = append(candidates, Candidate{
+				Cluster:   cl,
+				Latency:   latency,
+				Instances: cl.Instances(svc.Name),
+				Created:   cl.Created(svc.Name),
+				HasImages: cl.HasImages(spec),
+				CanHost:   cl.CanHost(spec),
+			})
 		}
-		spec := c.specFor(svc, cl)
-		latency := cl.Location().Latency
-		if override, ok := zone[cl.Name()]; ok {
-			latency = override
-		}
-		candidates = append(candidates, Candidate{
-			Cluster:   cl,
-			Latency:   latency,
-			Instances: cl.Instances(svc.Name),
-			Created:   cl.Created(svc.Name),
-			HasImages: cl.HasImages(spec),
-			CanHost:   cl.CanHost(spec),
-		})
+		c.cands.put(svc.Name, zoneName, now, candidates)
 	}
 	decision := c.sched.Schedule(svc, client, candidates)
 
 	// BEST ≠ FAST: deploy the optimal edge in the background and switch
 	// future requests over once it is running (Fig. 3).
 	if decision.Best != nil && decision.Best != decision.Fast {
-		c.count(func(s *Stats) { s.DeploysNoWait++ })
+		c.stats.deploysNoWait.Add(1)
 		best := decision.Best
 		c.clk.Go(func() {
 			inst, err := c.deploy(svc, best)
 			if err != nil {
-				c.count(func(s *Stats) { s.DeployFailures++ })
+				c.stats.deployFailures.Add(1)
 				return
 			}
 			// Future requests go to the optimal location: drop stale
@@ -122,12 +139,12 @@ func (c *Controller) dispatch(sw *openflow.Switch, svc *Service, client netem.IP
 	case decision.Fast != nil:
 		// On-demand deployment with waiting: the client's request stays
 		// on hold until the new instance answers its port.
-		c.count(func(s *Stats) { s.DeploysWaiting++ })
+		c.stats.deploysWaiting.Add(1)
 		inst, err := c.deploy(svc, decision.Fast)
 		if err == nil {
 			return inst, true
 		}
-		c.count(func(s *Stats) { s.DeployFailures++ })
+		c.stats.deployFailures.Add(1)
 		// The FAST choice failed even after per-phase retries: fail over
 		// to the next-best candidates from the scheduler's ranked list
 		// before surrendering to the cloud.
@@ -135,17 +152,17 @@ func (c *Controller) dispatch(sw *openflow.Switch, svc *Service, client netem.IP
 			if fb == decision.Fast || !c.breakerAllows(fb.Name()) {
 				continue
 			}
-			c.count(func(s *Stats) { s.Failovers++ })
+			c.stats.failovers.Add(1)
 			inst, err = c.deploy(svc, fb)
 			if err == nil {
 				return inst, true
 			}
-			c.count(func(s *Stats) { s.DeployFailures++ })
+			c.stats.deployFailures.Add(1)
 		}
 		return cluster.Instance{}, false
 	default:
 		// Forward toward the cloud.
-		c.count(func(s *Stats) { s.CloudForwards++ })
+		c.stats.cloudForwards.Add(1)
 		return cluster.Instance{Addr: svc.Addr, Cluster: "origin"}, true
 	}
 }
@@ -182,6 +199,10 @@ func (c *Controller) deploy(svc *Service, cl cluster.Cluster) (cluster.Instance,
 				delete(c.deployments, key)
 				c.mu.Unlock()
 			}
+			// Either way the cluster's observable state changed (new
+			// instance, or consumed capacity/failure): cached candidate
+			// snapshots are stale.
+			c.cands.bump()
 			st.done.Open()
 			return st.inst, st.err
 		}
@@ -204,6 +225,7 @@ func (c *Controller) deploy(svc *Service, cl cluster.Cluster) (cluster.Instance,
 			delete(c.deployments, key)
 		}
 		c.mu.Unlock()
+		c.cands.bump()
 	}
 }
 
@@ -233,7 +255,7 @@ func (c *Controller) runPhases(svc *Service, cl cluster.Cluster) (inst cluster.I
 			return cluster.Instance{}, err
 		}
 		tr.Pull = c.clk.Since(t0)
-		c.count(func(s *Stats) { s.Pulls++ })
+		c.stats.pulls.Add(1)
 	}
 	if !cl.Created(svc.Name) {
 		t0 := c.clk.Now()
@@ -241,14 +263,14 @@ func (c *Controller) runPhases(svc *Service, cl cluster.Cluster) (inst cluster.I
 			return cluster.Instance{}, err
 		}
 		tr.Create = c.clk.Since(t0)
-		c.count(func(s *Stats) { s.Creates++ })
+		c.stats.creates.Add(1)
 	}
 	t0 := c.clk.Now()
 	if err = c.retryPhase(deadline, retryKey+"/scaleup", func() error { return cl.ScaleUp(svc.Name) }); err != nil {
 		return cluster.Instance{}, err
 	}
 	tr.ScaleUp = c.clk.Since(t0)
-	c.count(func(s *Stats) { s.ScaleUps++ })
+	c.stats.scaleUps.Add(1)
 	t0 = c.clk.Now()
 	inst, err = c.waitReady(svc, cl, deadline)
 	tr.Wait = c.clk.Since(t0)
@@ -258,7 +280,10 @@ func (c *Controller) runPhases(svc *Service, cl cluster.Cluster) (inst cluster.I
 // retryPhase runs one deployment phase, retrying transient failures up
 // to RetryMax times with capped exponential backoff. Retries stop when
 // the next attempt could not even start before the deployment deadline.
+// The jitter hash prefix over (seed, key) is computed once, outside the
+// retry loop, so a retry storm costs no allocations per attempt.
 func (c *Controller) retryPhase(deadline time.Time, key string, fn func() error) error {
+	var prefix uint64
 	for attempt := 0; ; attempt++ {
 		err := fn()
 		if err == nil {
@@ -267,28 +292,50 @@ func (c *Controller) retryPhase(deadline time.Time, key string, fn func() error)
 		if attempt >= c.cfg.RetryMax {
 			return err
 		}
-		delay := c.backoff(key, attempt)
+		if attempt == 0 {
+			prefix = c.backoffPrefix(key)
+		}
+		delay := c.backoff(prefix, attempt)
 		if c.clk.Now().Add(delay).After(deadline) {
 			return err
 		}
-		c.count(func(s *Stats) { s.Retries++ })
+		c.stats.retries.Add(1)
 		c.clk.Sleep(delay)
 	}
+}
+
+// backoffPrefix hashes "seed/key/" with FNV-1a — the attempt-invariant
+// part of the jitter hash. backoff folds the attempt number into this
+// prefix, producing exactly the hash a full FNV-1a pass over
+// "seed/key/attempt" would, without constructing either the string or a
+// hasher per attempt.
+func (c *Controller) backoffPrefix(key string) uint64 {
+	var buf [20]byte
+	h := uint64(fnvOffset64)
+	for _, b := range strconv.AppendInt(buf[:0], c.cfg.Seed, 10) {
+		h = fnvByte(h, b)
+	}
+	h = fnvByte(h, '/')
+	h = fnvString(h, key)
+	return fnvByte(h, '/')
 }
 
 // backoff computes the delay before retry number attempt: exponential
 // from RetryBaseDelay, capped at RetryMaxDelay, jittered into
 // [d/2, d) by a hash of (seed, key, attempt) — deterministic for a
 // given seed, yet decorrelated across services, clusters, and phases
-// regardless of goroutine interleaving.
-func (c *Controller) backoff(key string, attempt int) time.Duration {
+// regardless of goroutine interleaving. prefix is backoffPrefix(key).
+func (c *Controller) backoff(prefix uint64, attempt int) time.Duration {
 	d := c.cfg.RetryBaseDelay << uint(attempt)
 	if d <= 0 || d > c.cfg.RetryMaxDelay {
 		d = c.cfg.RetryMaxDelay
 	}
-	h := fnv.New64a()
-	fmt.Fprintf(h, "%d/%s/%d", c.cfg.Seed, key, attempt)
-	frac := float64(h.Sum64()%1024) / 1024
+	var buf [20]byte
+	h := prefix
+	for _, b := range strconv.AppendInt(buf[:0], int64(attempt), 10) {
+		h = fnvByte(h, b)
+	}
+	frac := float64(h%1024) / 1024
 	return d/2 + time.Duration(frac*float64(d/2))
 }
 
@@ -325,7 +372,7 @@ func (c *Controller) probePort(addr netem.HostPort) bool {
 // instance): a rewrite pair for an edge instance, or a plain forward
 // rule when the instance is the cloud origin itself.
 func (c *Controller) installRedirect(sw *openflow.Switch, client netem.IP, svc *Service, inst cluster.Instance) {
-	c.count(func(s *Stats) { s.FlowsInstalled++ })
+	c.stats.flowsInstalled.Add(1)
 	if inst.Addr == svc.Addr {
 		// Served by the origin: skip the controller for future packets.
 		sw.InstallFlow(openflow.FlowSpec{

@@ -1,7 +1,9 @@
 package core
 
 import (
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/c3lab/transparentedge/internal/cluster"
@@ -16,6 +18,14 @@ import (
 // without calling the Scheduler. Memorized flows carry their own,
 // longer idle timeout whose expiry additionally drives automatic
 // scale-down of idle services (§V).
+//
+// The memory is sharded by flow key so concurrent packet-ins from
+// distinct clients never contend on one lock, and idle expiry is a
+// coarse per-shard sweep — one armed timer per shard at the earliest
+// pending deadline — instead of one timer per memorized flow. At
+// millions of entries that is 64 timers instead of millions, while the
+// observable expiry instants are identical: a sweep fires exactly at
+// the earliest lastUsed+Idle of its shard and re-arms for the next.
 type FlowMemory struct {
 	clk vclock.Clock
 	// Idle is the memory-side idle timeout.
@@ -24,10 +34,13 @@ type FlowMemory struct {
 	// service expires — the scale-down hook.
 	OnServiceIdle func(service string)
 
-	mu      sync.Mutex
-	entries map[flowKey]*memEntry
-	// perService counts live entries per service name.
-	perService map[string]int
+	// seq orders entries by arrival so expiry side effects (the
+	// service-idle hooks) fire in a deterministic order within a sweep,
+	// matching the per-entry-timer ordering this design replaced.
+	seq atomic.Uint64
+
+	shards [numShards]fmShard
+	counts [numShards]fmCountShard
 }
 
 type flowKey struct {
@@ -40,24 +53,76 @@ type memEntry struct {
 	lastUsed time.Time
 	removed  bool
 	svcName  string
+	seq      uint64
+}
+
+// fmShard is one partition of the memorized flows with its own sweep
+// timer state.
+type fmShard struct {
+	mu      sync.Mutex
+	entries map[flowKey]*memEntry
+	// sweepArmed reports whether an expiry sweep is scheduled; sweepAt
+	// is its deadline (the earliest lastUsed+Idle at arm time).
+	sweepArmed bool
+}
+
+// fmCountShard is one partition of the per-service live-entry counts,
+// sharded by service-name hash independently of the flow shards.
+type fmCountShard struct {
+	mu     sync.Mutex
+	counts map[string]int
 }
 
 // NewFlowMemory returns an empty memory with the given idle timeout.
 func NewFlowMemory(clk vclock.Clock, idle time.Duration) *FlowMemory {
-	return &FlowMemory{
-		clk:        clk,
-		Idle:       idle,
-		entries:    make(map[flowKey]*memEntry),
-		perService: make(map[string]int),
+	fm := &FlowMemory{clk: clk, Idle: idle}
+	for i := range fm.shards {
+		fm.shards[i].entries = make(map[flowKey]*memEntry)
 	}
+	for i := range fm.counts {
+		fm.counts[i].counts = make(map[string]int)
+	}
+	return fm
+}
+
+func (fm *FlowMemory) shardFor(key flowKey) *fmShard {
+	return &fm.shards[hashFlowKey(key)&(numShards-1)]
+}
+
+func (fm *FlowMemory) countShardFor(svcName string) *fmCountShard {
+	return &fm.counts[fnvString(fnvOffset64, svcName)&(numShards-1)]
+}
+
+// addCount increments a service's live-entry count.
+func (fm *FlowMemory) addCount(svcName string) {
+	cs := fm.countShardFor(svcName)
+	cs.mu.Lock()
+	cs.counts[svcName]++
+	cs.mu.Unlock()
+}
+
+// dropCount decrements a service's live-entry count and reports whether
+// it reached zero (the last memorized flow of the service is gone).
+func (fm *FlowMemory) dropCount(svcName string) (idle bool) {
+	cs := fm.countShardFor(svcName)
+	cs.mu.Lock()
+	cs.counts[svcName]--
+	if cs.counts[svcName] <= 0 {
+		delete(cs.counts, svcName)
+		idle = true
+	}
+	cs.mu.Unlock()
+	return idle
 }
 
 // Lookup returns the memorized instance for (client, service) and
 // refreshes its idle timer.
 func (fm *FlowMemory) Lookup(client netem.IP, service netem.HostPort) (cluster.Instance, bool) {
-	fm.mu.Lock()
-	defer fm.mu.Unlock()
-	e, ok := fm.entries[flowKey{client, service}]
+	key := flowKey{client, service}
+	s := fm.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[key]
 	if !ok || e.removed {
 		return cluster.Instance{}, false
 	}
@@ -66,93 +131,151 @@ func (fm *FlowMemory) Lookup(client netem.IP, service netem.HostPort) (cluster.I
 }
 
 // Remember stores (or replaces) the mapping for (client, service).
+// Replacing an entry registered under a different service name re-tags
+// it, so the per-service counts driving idle scale-down stay exact.
 func (fm *FlowMemory) Remember(client netem.IP, service netem.HostPort, svcName string, inst cluster.Instance) {
 	key := flowKey{client, service}
-	fm.mu.Lock()
-	if old, ok := fm.entries[key]; ok && !old.removed {
+	s := fm.shardFor(key)
+	// Count first, insert second: a concurrent sweep or ForgetService
+	// can then never observe an entry whose count is missing, so the
+	// per-service count can underflow neither to a spurious zero (a
+	// lost-entry idle hook) nor below the live-entry total.
+	fm.addCount(svcName)
+	s.mu.Lock()
+	if old, ok := s.entries[key]; ok && !old.removed {
 		old.instance = inst
 		old.lastUsed = fm.clk.Now()
-		fm.mu.Unlock()
+		oldName := old.svcName
+		old.svcName = svcName
+		s.mu.Unlock()
+		fm.dropCount(oldName)
 		return
 	}
-	e := &memEntry{instance: inst, lastUsed: fm.clk.Now(), svcName: svcName}
-	fm.entries[key] = e
-	fm.perService[svcName]++
-	fm.mu.Unlock()
-	if fm.Idle > 0 {
-		fm.scheduleExpiry(key, e, fm.Idle)
+	e := &memEntry{
+		instance: inst,
+		lastUsed: fm.clk.Now(),
+		svcName:  svcName,
+		seq:      fm.seq.Add(1),
 	}
+	s.entries[key] = e
+	if fm.Idle > 0 && !s.sweepArmed {
+		// Arm the shard sweep for this entry's deadline. An armed sweep
+		// is always at or before every live deadline (deadlines only
+		// move later via touches), so it never needs re-arming here.
+		s.sweepArmed = true
+		fm.clk.AfterFunc(fm.Idle, func() { fm.sweep(s) })
+	}
+	s.mu.Unlock()
+}
+
+// sweep drops every expired entry of one shard, fires the service-idle
+// hooks of services whose last entry went, and re-arms the shard timer
+// for the earliest remaining deadline.
+func (fm *FlowMemory) sweep(s *fmShard) {
+	s.mu.Lock()
+	s.sweepArmed = false
+	now := fm.clk.Now()
+	var expired []*memEntry
+	var expiredKeys []flowKey
+	earliest := time.Time{}
+	for key, e := range s.entries {
+		if now.Sub(e.lastUsed) >= fm.Idle {
+			expired = append(expired, e)
+			expiredKeys = append(expiredKeys, key)
+			continue
+		}
+		deadline := e.lastUsed.Add(fm.Idle)
+		if earliest.IsZero() || deadline.Before(earliest) {
+			earliest = deadline
+		}
+	}
+	// Arrival order makes the drop (and hence hook) order deterministic
+	// regardless of map iteration.
+	sort.Sort(&entryOrder{entries: expired, keys: expiredKeys})
+	var idled []string
+	for i, e := range expired {
+		e.removed = true
+		delete(s.entries, expiredKeys[i])
+		if fm.dropCount(e.svcName) {
+			idled = append(idled, e.svcName)
+		}
+	}
+	if len(s.entries) > 0 {
+		s.sweepArmed = true
+		fm.clk.AfterFunc(earliest.Sub(now), func() { fm.sweep(s) })
+	}
+	hook := fm.OnServiceIdle
+	s.mu.Unlock()
+	if hook != nil {
+		for _, name := range idled {
+			hook(name)
+		}
+	}
+}
+
+// entryOrder sorts parallel expired-entry slices by arrival sequence.
+type entryOrder struct {
+	entries []*memEntry
+	keys    []flowKey
+}
+
+func (o *entryOrder) Len() int           { return len(o.entries) }
+func (o *entryOrder) Less(i, j int) bool { return o.entries[i].seq < o.entries[j].seq }
+func (o *entryOrder) Swap(i, j int) {
+	o.entries[i], o.entries[j] = o.entries[j], o.entries[i]
+	o.keys[i], o.keys[j] = o.keys[j], o.keys[i]
 }
 
 // Touch refreshes the idle timer of (client, service); the controller
 // calls it when the switch reports a removed flow, since flow removal
 // implies traffic existed until a moment ago.
 func (fm *FlowMemory) Touch(client netem.IP, service netem.HostPort) {
-	fm.mu.Lock()
-	defer fm.mu.Unlock()
-	if e, ok := fm.entries[flowKey{client, service}]; ok && !e.removed {
+	key := flowKey{client, service}
+	s := fm.shardFor(key)
+	s.mu.Lock()
+	if e, ok := s.entries[key]; ok && !e.removed {
 		e.lastUsed = fm.clk.Now()
 	}
+	s.mu.Unlock()
 }
 
 // Forget removes the mapping immediately (used when redirecting future
-// requests to a better instance).
+// requests to a better instance). The service-idle hook never fires
+// from explicit removal, only from idle expiry.
 func (fm *FlowMemory) Forget(client netem.IP, service netem.HostPort) {
-	fm.mu.Lock()
-	defer fm.mu.Unlock()
-	fm.dropLocked(flowKey{client, service})
+	key := flowKey{client, service}
+	s := fm.shardFor(key)
+	s.mu.Lock()
+	e, ok := s.entries[key]
+	if !ok || e.removed {
+		s.mu.Unlock()
+		return
+	}
+	e.removed = true
+	delete(s.entries, key)
+	s.mu.Unlock()
+	fm.dropCount(e.svcName)
 }
 
 // ForgetService drops every mapping of one service that does not point
 // at keep (pass an empty instance to drop all).
 func (fm *FlowMemory) ForgetService(svcName string, keep cluster.Instance) {
-	fm.mu.Lock()
-	defer fm.mu.Unlock()
-	for key, e := range fm.entries {
-		if e.svcName == svcName && !e.removed && e.instance != keep {
-			fm.dropLocked(key)
+	for i := range fm.shards {
+		s := &fm.shards[i]
+		var dropped []*memEntry
+		s.mu.Lock()
+		for key, e := range s.entries {
+			if e.svcName == svcName && !e.removed && e.instance != keep {
+				e.removed = true
+				delete(s.entries, key)
+				dropped = append(dropped, e)
+			}
+		}
+		s.mu.Unlock()
+		for _, e := range dropped {
+			fm.dropCount(e.svcName)
 		}
 	}
-}
-
-// dropLocked removes one entry; callers hold fm.mu. The service-idle
-// hook never fires from explicit removal, only from idle expiry.
-func (fm *FlowMemory) dropLocked(key flowKey) {
-	e, ok := fm.entries[key]
-	if !ok || e.removed {
-		return
-	}
-	e.removed = true
-	delete(fm.entries, key)
-	fm.perService[e.svcName]--
-	if fm.perService[e.svcName] <= 0 {
-		delete(fm.perService, e.svcName)
-	}
-}
-
-// scheduleExpiry arms the idle timer for one entry, re-arming while the
-// entry keeps being touched.
-func (fm *FlowMemory) scheduleExpiry(key flowKey, e *memEntry, wait time.Duration) {
-	fm.clk.AfterFunc(wait, func() {
-		fm.mu.Lock()
-		if e.removed {
-			fm.mu.Unlock()
-			return
-		}
-		silent := fm.clk.Since(e.lastUsed)
-		if silent < fm.Idle {
-			fm.mu.Unlock()
-			fm.scheduleExpiry(key, e, fm.Idle-silent)
-			return
-		}
-		fm.dropLocked(key)
-		idle := fm.perService[e.svcName] == 0
-		hook := fm.OnServiceIdle
-		fm.mu.Unlock()
-		if idle && hook != nil {
-			hook(e.svcName)
-		}
-	})
 }
 
 // Entry is one memorized flow, as exposed to the health prober.
@@ -165,30 +288,39 @@ type Entry struct {
 
 // Entries snapshots all memorized flows.
 func (fm *FlowMemory) Entries() []Entry {
-	fm.mu.Lock()
-	defer fm.mu.Unlock()
-	out := make([]Entry, 0, len(fm.entries))
-	for key, e := range fm.entries {
-		out = append(out, Entry{
-			Client:   key.client,
-			Service:  key.service,
-			SvcName:  e.svcName,
-			Instance: e.instance,
-		})
+	var out []Entry
+	for i := range fm.shards {
+		s := &fm.shards[i]
+		s.mu.Lock()
+		for key, e := range s.entries {
+			out = append(out, Entry{
+				Client:   key.client,
+				Service:  key.service,
+				SvcName:  e.svcName,
+				Instance: e.instance,
+			})
+		}
+		s.mu.Unlock()
 	}
 	return out
 }
 
 // Len reports the number of memorized flows.
 func (fm *FlowMemory) Len() int {
-	fm.mu.Lock()
-	defer fm.mu.Unlock()
-	return len(fm.entries)
+	n := 0
+	for i := range fm.shards {
+		s := &fm.shards[i]
+		s.mu.Lock()
+		n += len(s.entries)
+		s.mu.Unlock()
+	}
+	return n
 }
 
 // ServiceFlows reports the number of memorized flows for one service.
 func (fm *FlowMemory) ServiceFlows(svcName string) int {
-	fm.mu.Lock()
-	defer fm.mu.Unlock()
-	return fm.perService[svcName]
+	cs := fm.countShardFor(svcName)
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	return cs.counts[svcName]
 }

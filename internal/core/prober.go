@@ -48,7 +48,7 @@ func (c *Controller) healthProbe() {
 		if c.probePort(inst.Addr) {
 			continue
 		}
-		c.count(func(s *Stats) { s.HealthEvictions++ })
+		c.stats.healthEvictions.Add(1)
 		for _, e := range byInst[inst] {
 			c.fm.Forget(e.Client, e.Service)
 		}
@@ -58,5 +58,7 @@ func (c *Controller) healthProbe() {
 		c.mu.Lock()
 		delete(c.deployments, deployKey{service: svcName, cluster: inst.Cluster})
 		c.mu.Unlock()
+		// Cached candidate snapshots may still reflect the dead instance.
+		c.cands.bump()
 	}
 }

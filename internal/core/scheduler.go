@@ -55,6 +55,10 @@ type Decision struct {
 // GlobalScheduler chooses the edge cluster (the paper's Global
 // Scheduler). Implementations are registered by name and loaded from
 // the controller configuration.
+//
+// The candidates slice may be a cached snapshot shared by concurrent
+// packet-ins (the dispatcher's candidate cache): implementations must
+// treat it as read-only and copy before sorting or mutating.
 type GlobalScheduler interface {
 	Schedule(service *Service, client netem.IP, candidates []Candidate) Decision
 }
@@ -220,11 +224,14 @@ func (p *ProximityScheduler) Schedule(service *Service, client netem.IP, candida
 // fallbacksAfter lists the deployable clusters of a latency-sorted
 // candidate slice, best first, excluding the primary choice.
 func fallbacksAfter(sorted []Candidate, primary cluster.Cluster) []cluster.Cluster {
-	var out []cluster.Cluster
+	out := make([]cluster.Cluster, 0, len(sorted))
 	for i := range sorted {
 		if sorted[i].CanHost && sorted[i].Cluster != primary {
 			out = append(out, sorted[i].Cluster)
 		}
+	}
+	if len(out) == 0 {
+		return nil
 	}
 	return out
 }

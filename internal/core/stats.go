@@ -1,0 +1,61 @@
+package core
+
+import "sync/atomic"
+
+// statCounters is the controller's internal, contention-free counter
+// bank. Every field mirrors one field of the public Stats snapshot;
+// the hot path bumps them with single atomic adds instead of taking a
+// shared lock, so concurrent packet-ins from distinct clients never
+// serialize on bookkeeping.
+type statCounters struct {
+	packetIns         atomic.Int64
+	memoryHits        atomic.Int64
+	scheduleCalls     atomic.Int64
+	deploysWaiting    atomic.Int64
+	deploysNoWait     atomic.Int64
+	cloudForwards     atomic.Int64
+	deployFailures    atomic.Int64
+	pulls             atomic.Int64
+	creates           atomic.Int64
+	scaleUps          atomic.Int64
+	scaleDowns        atomic.Int64
+	scaleDownFailures atomic.Int64
+	removes           atomic.Int64
+	flowsInstalled    atomic.Int64
+	flowRemovedMsgs   atomic.Int64
+	retries           atomic.Int64
+	failovers         atomic.Int64
+	breakerTrips      atomic.Int64
+	breakerRecoveries atomic.Int64
+	healthEvictions   atomic.Int64
+	candidateHits     atomic.Int64
+	candidateMisses   atomic.Int64
+}
+
+// snapshot assembles the public Stats view from the atomic counters.
+func (sc *statCounters) snapshot() Stats {
+	return Stats{
+		PacketIns:         sc.packetIns.Load(),
+		MemoryHits:        sc.memoryHits.Load(),
+		ScheduleCalls:     sc.scheduleCalls.Load(),
+		DeploysWaiting:    sc.deploysWaiting.Load(),
+		DeploysNoWait:     sc.deploysNoWait.Load(),
+		CloudForwards:     sc.cloudForwards.Load(),
+		DeployFailures:    sc.deployFailures.Load(),
+		Pulls:             sc.pulls.Load(),
+		Creates:           sc.creates.Load(),
+		ScaleUps:          sc.scaleUps.Load(),
+		ScaleDowns:        sc.scaleDowns.Load(),
+		ScaleDownFailures: sc.scaleDownFailures.Load(),
+		Removes:           sc.removes.Load(),
+		FlowsInstalled:    sc.flowsInstalled.Load(),
+		FlowRemovedMsgs:   sc.flowRemovedMsgs.Load(),
+		Retries:           sc.retries.Load(),
+		Failovers:         sc.failovers.Load(),
+		BreakerTrips:      sc.breakerTrips.Load(),
+		BreakerRecoveries: sc.breakerRecoveries.Load(),
+		HealthEvictions:   sc.healthEvictions.Load(),
+		CandidateHits:     sc.candidateHits.Load(),
+		CandidateMisses:   sc.candidateMisses.Load(),
+	}
+}

@@ -30,6 +30,66 @@ type Match struct {
 	DstPort uint16
 }
 
+// matchSig identifies which fields of a Match are set (non-wildcard).
+// The table keeps flows indexed by their exact Match, grouped by
+// signature: classifying a packet probes one index key per distinct
+// signature present — tuple-space search, as in Open vSwitch — instead
+// of scanning the whole table.
+type matchSig uint8
+
+const (
+	sigInPort matchSig = 1 << iota
+	sigSrcIP
+	sigDstIP
+	sigSrcPort
+	sigDstPort
+)
+
+// signature returns the set-field mask of m.
+func (m Match) signature() matchSig {
+	var s matchSig
+	if m.InPort != 0 {
+		s |= sigInPort
+	}
+	if m.SrcIP != 0 {
+		s |= sigSrcIP
+	}
+	if m.DstIP != 0 {
+		s |= sigDstIP
+	}
+	if m.SrcPort != 0 {
+		s |= sigSrcPort
+	}
+	if m.DstPort != 0 {
+		s |= sigDstPort
+	}
+	return s
+}
+
+// project builds the Match a flow of this signature must carry to cover
+// pkt: packet fields where the signature sets them, wildcards elsewhere.
+// A flow covers the packet iff its Match equals the projection — so an
+// exact-match map lookup replicates Covers for the whole tuple class.
+func (sig matchSig) project(pkt *netem.Packet, inPort int) Match {
+	var m Match
+	if sig&sigInPort != 0 {
+		m.InPort = inPort
+	}
+	if sig&sigSrcIP != 0 {
+		m.SrcIP = pkt.Src.IP
+	}
+	if sig&sigDstIP != 0 {
+		m.DstIP = pkt.Dst.IP
+	}
+	if sig&sigSrcPort != 0 {
+		m.SrcPort = pkt.Src.Port
+	}
+	if sig&sigDstPort != 0 {
+		m.DstPort = pkt.Dst.Port
+	}
+	return m
+}
+
 // Covers reports whether the match selects pkt arriving on inPort.
 func (m Match) Covers(pkt *netem.Packet, inPort int) bool {
 	if m.InPort != 0 && m.InPort != inPort {
@@ -167,6 +227,16 @@ type Switch struct {
 	removals  *vclock.Mailbox[FlowRemoved]
 	connected bool
 
+	// removedCount tracks lazily evicted entries still occupying table
+	// slots, for amortized compaction (see compactLocked).
+	removedCount int
+	// index groups live flows by their exact Match; sigCount tracks how
+	// many live flows carry each field signature. Together they make
+	// packet classification O(#signatures) map probes (tuple-space
+	// search) instead of a linear table scan.
+	index    map[Match][]*flowEntry
+	sigCount map[matchSig]int
+
 	// counters
 	punted  int64
 	dropped int64
@@ -181,6 +251,8 @@ func NewSwitch(net *netem.Network, name string, n int) *Switch {
 		CtrlLatency: 2 * time.Millisecond,
 		routes:      make(map[netem.IP]int),
 		defRoute:    -1,
+		index:       make(map[Match][]*flowEntry),
+		sigCount:    make(map[matchSig]int),
 		packetIns:   vclock.NewMailbox[PacketIn](net.Clock),
 		removals:    vclock.NewMailbox[FlowRemoved](net.Clock),
 	}
@@ -236,13 +308,15 @@ func (s *Switch) HandlePacket(pkt *netem.Packet, in *netem.Port) {
 func (s *Switch) process(pkt *netem.Packet, inPort int) {
 	s.mu.Lock()
 	var best *flowEntry
-	for _, e := range s.table {
-		if e.removed || !e.Match.Covers(pkt, inPort) {
-			continue
-		}
-		if best == nil || e.Priority > best.Priority ||
-			(e.Priority == best.Priority && e.seq < best.seq) {
-			best = e
+	for sig := range s.sigCount {
+		for _, e := range s.index[sig.project(pkt, inPort)] {
+			if e.removed {
+				continue
+			}
+			if best == nil || e.Priority > best.Priority ||
+				(e.Priority == best.Priority && e.seq < best.seq) {
+				best = e
+			}
 		}
 	}
 	if best == nil {
@@ -341,6 +415,8 @@ func (s *Switch) InstallFlow(spec FlowSpec) {
 	s.seq++
 	e := &flowEntry{FlowSpec: spec, seq: s.seq, lastUsed: s.clk.Now()}
 	s.table = append(s.table, e)
+	s.index[spec.Match] = append(s.index[spec.Match], e)
+	s.sigCount[spec.Match.signature()]++
 	s.mu.Unlock()
 	if spec.IdleTimeout > 0 {
 		s.scheduleIdleCheck(e, spec.IdleTimeout)
@@ -379,12 +455,9 @@ func (s *Switch) evict(e *flowEntry, idle bool) {
 		return
 	}
 	e.removed = true
-	for i, cur := range s.table {
-		if cur == e {
-			s.table = append(s.table[:i:i], s.table[i+1:]...)
-			break
-		}
-	}
+	s.removedCount++
+	s.dropIndexLocked(e)
+	s.compactLocked()
 	connected := s.connected
 	s.mu.Unlock()
 	if connected {
@@ -404,15 +477,70 @@ func (s *Switch) DeleteFlows(cookie uint64) int {
 	kept := s.table[:0]
 	removed := 0
 	for _, e := range s.table {
+		if e.removed {
+			continue // lazily evicted leftover, drop it for good
+		}
 		if e.Cookie == cookie {
 			e.removed = true
+			s.dropIndexLocked(e)
 			removed++
 			continue
 		}
 		kept = append(kept, e)
 	}
+	for i := len(kept); i < len(s.table); i++ {
+		s.table[i] = nil
+	}
 	s.table = kept
+	s.removedCount = 0
 	return removed
+}
+
+// dropIndexLocked unlinks an evicted entry from the classifier index.
+// The per-Match bucket is tiny (re-installs of one flow), so the swap
+// removal is O(1) in practice; selection among bucket entries compares
+// priority and sequence, so bucket order is irrelevant.
+func (s *Switch) dropIndexLocked(e *flowEntry) {
+	idx := s.index[e.Match]
+	for i, cur := range idx {
+		if cur == e {
+			idx[i] = idx[len(idx)-1]
+			idx[len(idx)-1] = nil
+			idx = idx[:len(idx)-1]
+			break
+		}
+	}
+	if len(idx) == 0 {
+		delete(s.index, e.Match)
+	} else {
+		s.index[e.Match] = idx
+	}
+	sig := e.Match.signature()
+	if s.sigCount[sig]--; s.sigCount[sig] == 0 {
+		delete(s.sigCount, sig)
+	}
+}
+
+// compactLocked rebuilds the table in place once evicted entries
+// outnumber live ones. Eviction itself only marks the entry, so a flow
+// churn (install + idle-evict per warm packet-in) costs amortized O(1)
+// instead of one full-table copy per evicted flow. Lookups already skip
+// removed entries, so compaction is invisible except for cost.
+func (s *Switch) compactLocked() {
+	if s.removedCount*2 <= len(s.table) {
+		return
+	}
+	kept := s.table[:0]
+	for _, e := range s.table {
+		if !e.removed {
+			kept = append(kept, e)
+		}
+	}
+	for i := len(kept); i < len(s.table); i++ {
+		s.table[i] = nil
+	}
+	s.table = kept
+	s.removedCount = 0
 }
 
 // PacketOut re-injects a packet held by the controller, applying the
@@ -434,6 +562,9 @@ func (s *Switch) Flows() []FlowStats {
 	defer s.mu.Unlock()
 	out := make([]FlowStats, 0, len(s.table))
 	for _, e := range s.table {
+		if e.removed {
+			continue
+		}
 		out = append(out, FlowStats{
 			Priority: e.Priority,
 			Match:    e.Match,

@@ -1,0 +1,137 @@
+package testbed
+
+import (
+	"time"
+
+	"github.com/c3lab/transparentedge/internal/catalog"
+	"github.com/c3lab/transparentedge/internal/core"
+	"github.com/c3lab/transparentedge/internal/metrics"
+	"github.com/c3lab/transparentedge/internal/trace"
+	"github.com/c3lab/transparentedge/internal/vclock"
+)
+
+// ScaleResult is the outcome of the control-plane scale experiment: per
+// client-count request latencies for the two packet-in flavours the
+// sharded control plane serves, plus the controller's own accounting.
+type ScaleResult struct {
+	ServiceKey string
+	Clients    int
+	// Cold is the time_total of each client's first request: a
+	// FlowMemory miss that runs the full dispatch pipeline. All clients
+	// fire inside one candidate-cache TTL window, so one client pays the
+	// candidate gathering and the rest ride the cached snapshot.
+	Cold *metrics.Series
+	// Warm is the time_total of each client's second request after its
+	// switch flows idled out: a packet-in answered from the FlowMemory.
+	Warm *metrics.Series
+	// Stats is the controller's view after the run; CandidateHits /
+	// CandidateMisses expose the snapshot cache, MemoryHits the warm
+	// wave.
+	Stats core.Stats
+}
+
+// RunScale drives one service with a swarm of clients — the
+// packet-in-storm scenario the sharded control plane is built for.
+// Every client issues a cold first request inside a short window
+// (FlowMemory misses racing through dispatch and the candidate cache),
+// then, after the switch flows idle out, a warm second request
+// (FlowMemory hits). The instance is pre-deployed: the experiment
+// isolates control-plane dispatch from container deployment.
+func RunScale(serviceKey string, clients int, seed int64) (*ScaleResult, error) {
+	svc, err := catalog.ByKey(serviceKey)
+	if err != nil {
+		return nil, err
+	}
+	res := &ScaleResult{
+		ServiceKey: serviceKey,
+		Clients:    clients,
+		Cold:       metrics.NewSeries("cold-dispatch"),
+		Warm:       metrics.NewSeries("memory-hit"),
+	}
+	clk := vclock.New()
+	var runErr error
+	clk.Run(func() {
+		tb, err := New(clk, Options{
+			WithDocker:     true,
+			Clients:        clients,
+			SwitchFlowIdle: 2 * time.Second,
+			MemoryIdle:     time.Hour,
+			Seed:           seed,
+		})
+		if err != nil {
+			runErr = err
+			return
+		}
+		h, err := tb.RegisterCatalogService(svc, trace.ServiceAddr(0))
+		if err != nil {
+			runErr = err
+			return
+		}
+		if err := tb.PrePull(h, "edge-docker"); err != nil {
+			runErr = err
+			return
+		}
+		if _, err := tb.Controller.PreDeploy(h.Addr, "edge-docker"); err != nil {
+			runErr = err
+			return
+		}
+
+		// Cold wave: every client's first packet-in misses the FlowMemory
+		// and dispatches. The 1 ms stagger keeps all of them inside one
+		// candidate-snapshot TTL.
+		cold := make([]time.Duration, clients)
+		errs := make([]error, clients)
+		var g vclock.Group
+		for i := 0; i < clients; i++ {
+			i := i
+			g.Go(clk, func() {
+				clk.Sleep(time.Duration(i) * time.Millisecond)
+				r, err := tb.Request(i, h)
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				cold[i] = r.Total
+			})
+		}
+		g.Wait(clk)
+		for i := 0; i < clients; i++ {
+			if errs[i] != nil {
+				runErr = errs[i]
+				return
+			}
+			res.Cold.Add(cold[i])
+		}
+
+		// Let every redirect flow idle out; the FlowMemory keeps the
+		// instance, so the second wave is pure memory-hit dispatch.
+		clk.Sleep(5 * time.Second)
+		warm := make([]time.Duration, clients)
+		var g2 vclock.Group
+		for i := 0; i < clients; i++ {
+			i := i
+			g2.Go(clk, func() {
+				clk.Sleep(time.Duration(i) * time.Millisecond)
+				r, err := tb.Request(i, h)
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				warm[i] = r.Total
+			})
+		}
+		g2.Wait(clk)
+		for i := 0; i < clients; i++ {
+			if errs[i] != nil {
+				runErr = errs[i]
+				return
+			}
+			res.Warm.Add(warm[i])
+		}
+		res.Stats = tb.Controller.Stats()
+	})
+	if runErr != nil {
+		return nil, runErr
+	}
+	return res, nil
+}

@@ -63,6 +63,9 @@ type Options struct {
 	MemoryIdle     time.Duration
 	// ProbeInterval overrides the controller's readiness polling period.
 	ProbeInterval time.Duration
+	// CandidateTTL overrides the controller's candidate-snapshot cache
+	// TTL (zero keeps the default; negative disables the cache).
+	CandidateTTL time.Duration
 	// DisableFlowMemory runs the controller without its FlowMemory
 	// (ablation).
 	DisableFlowMemory bool
@@ -396,6 +399,7 @@ func New(clk vclock.Clock, opts Options) (*Testbed, error) {
 		SwitchFlowIdle:      opts.SwitchFlowIdle,
 		MemoryIdle:          opts.MemoryIdle,
 		ProbeInterval:       opts.ProbeInterval,
+		CandidateTTL:        opts.CandidateTTL,
 		DeployTimeout:       opts.DeployTimeout,
 		RetryMax:            opts.RetryMax,
 		BreakerThreshold:    opts.BreakerThreshold,
