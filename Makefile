@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet check bench bench-scale bench-save
+.PHONY: build test race vet check bench bench-scale bench-save bench-sim bench-sim-save bench-sim-guard
 
 build:
 	$(GO) build ./...
@@ -31,3 +31,21 @@ bench-scale:
 # (parsed results plus benchstat-compatible raw output).
 bench-save:
 	$(GO) test -bench='PacketInThroughput|FlowMemoryScale' -benchtime=2s -benchmem -run=^$$ ./internal/core/ | $(GO) run ./cmd/benchsave
+
+# bench-sim runs the discrete-event engine microbenchmarks: a full TCP
+# request/response over the emulated network, the 8-client switch fan-in,
+# and the allocation-free steady-state packet hop.
+SIM_BENCHES = BenchmarkRequestResponse|BenchmarkPacketSwitchingFanIn|BenchmarkPacketHop
+bench-sim:
+	$(GO) test -bench='$(SIM_BENCHES)' -benchtime=2s -benchmem -run=^$$ ./internal/netem/
+
+# bench-sim-save archives a bench-sim run (BENCH_3.json is this repo's
+# checked-in engine baseline).
+bench-sim-save:
+	$(GO) test -bench='$(SIM_BENCHES)' -benchtime=2s -benchmem -run=^$$ ./internal/netem/ | $(GO) run ./cmd/benchsave
+
+# bench-sim-guard is the CI smoke gate: the steady-state packet hop must
+# stay allocation-free. allocs/op is deterministic, so the ceiling holds
+# on shared runners.
+bench-sim-guard:
+	$(GO) test -bench='BenchmarkPacketHop' -benchtime=100x -benchmem -run=^$$ ./internal/netem/ | $(GO) run ./cmd/benchguard -bench 'BenchmarkPacketHop$$' -max-allocs 0

@@ -1,0 +1,77 @@
+// Command benchguard gates CI on benchmark regressions that are stable
+// enough to assert exactly: allocation counts. It reads `go test -bench
+// -benchmem` output on stdin and fails if any benchmark matching -bench
+// reports more than -max-allocs allocs/op. Unlike ns/op, allocs/op is
+// deterministic across machines, so the ceiling can be checked in and
+// enforced on shared runners without flakiness.
+//
+//	go test -bench=PacketHop -benchtime=100x -benchmem -run='^$' ./internal/netem/ |
+//	    go run ./cmd/benchguard -bench BenchmarkPacketHop -max-allocs 0
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	bench := flag.String("bench", "", "regexp of benchmark names to guard (required)")
+	maxAllocs := flag.Int64("max-allocs", 0, "maximum allowed allocs/op")
+	flag.Parse()
+	if *bench == "" {
+		fmt.Fprintln(os.Stderr, "benchguard: -bench is required")
+		os.Exit(2)
+	}
+	nameRE, err := regexp.Compile(*bench)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: bad -bench: %v\n", err)
+		os.Exit(2)
+	}
+
+	resultLine := regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+(.*)$`)
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	checked, failed := 0, 0
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line) // pass the output through for the CI log
+		m := resultLine.FindStringSubmatch(line)
+		if m == nil || !nameRE.MatchString(m[1]) {
+			continue
+		}
+		fields := strings.Fields(m[2])
+		for i := 0; i+1 < len(fields); i += 2 {
+			if fields[i+1] != "allocs/op" {
+				continue
+			}
+			allocs, err := strconv.ParseInt(fields[i], 10, 64)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchguard: %s: bad allocs/op %q\n", m[1], fields[i])
+				os.Exit(2)
+			}
+			checked++
+			if allocs > *maxAllocs {
+				failed++
+				fmt.Fprintf(os.Stderr, "benchguard: FAIL %s: %d allocs/op exceeds ceiling %d\n",
+					m[1], allocs, *maxAllocs)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: read: %v\n", err)
+		os.Exit(2)
+	}
+	if checked == 0 {
+		fmt.Fprintf(os.Stderr, "benchguard: no benchmark matching %q with allocs/op on stdin (did you pass -benchmem?)\n", *bench)
+		os.Exit(2)
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+	fmt.Printf("benchguard: %d benchmark(s) within %d allocs/op\n", checked, *maxAllocs)
+}

@@ -1,10 +1,13 @@
 // Command benchsave archives a benchmark run: it reads `go test -bench`
 // output on stdin, parses the result lines, and writes them — together
 // with the benchstat-compatible raw text — to the next free
-// BENCH_<n>.json in the current directory. Used by `make bench-save` to
-// keep before/after records of control-plane performance work.
+// BENCH_<n>.json in the current directory. Used by `make bench-save` and
+// `make bench-sim-save` to keep before/after records of performance work.
+// An explicit output path may be given as the sole argument, pinning the
+// archive name instead of taking the next free slot:
 //
 //	go test -bench=. -benchtime=2s -run='^$' ./internal/core/ | go run ./cmd/benchsave
+//	go test -bench=. -benchtime=2s -run='^$' ./internal/netem/ | go run ./cmd/benchsave BENCH_3.json
 package main
 
 import (
@@ -84,6 +87,9 @@ func main() {
 		os.Exit(1)
 	}
 	path := nextPath()
+	if len(os.Args) > 1 {
+		path = os.Args[1]
+	}
 	out, err := json.MarshalIndent(rec, "", "  ")
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchsave: encode: %v\n", err)

@@ -27,6 +27,12 @@ import (
 
 var allServices = []string{"asm", "nginx", "resnet", "nginxpy"}
 
+// workers is the replication worker-pool size (the -parallel flag).
+// Every figure builds its cells through testbed.RunParallel with this
+// pool; results come back in index order, so any worker count produces
+// byte-identical output to a sequential run.
+var workers = 1
+
 // emit renders one result table; -format csv swaps the renderer.
 var emit = func(t *metrics.Table) { fmt.Println(t) }
 
@@ -36,8 +42,10 @@ func main() {
 	service := flag.String("service", "all", "service key: asm|nginx|resnet|nginxpy|all")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	warm := flag.Int("warm", testbed.DefaultWarmRequests, "warm requests for fig16")
+	parallel := flag.Int("parallel", 1, "workers for independent replications: 1 = sequential, 0 = GOMAXPROCS")
 	format := flag.String("format", "table", "output format for tabular results: table|csv")
 	flag.Parse()
+	workers = *parallel
 	if *format == "csv" {
 		emit = func(t *metrics.Table) { fmt.Print(t.CSV()) }
 	}
@@ -153,21 +161,40 @@ func fig10(seed int64) error {
 	return nil
 }
 
-func phases(title string, services []string, n int, seed int64, scaleOnly bool) error {
-	t := metrics.NewTable(title, "Service", "Docker", "K8s", "paper says")
-	for _, key := range services {
-		row := []string{key}
-		for _, kind := range []cluster.Kind{cluster.Docker, cluster.Kubernetes} {
-			var res *testbed.PhaseResult
-			var err error
+var phaseKinds = []cluster.Kind{cluster.Docker, cluster.Kubernetes}
+
+// phaseCells runs one scale-up (or create+scale-up) replication per
+// (service, kind) cell across the worker pool and returns them indexed
+// [service][kind].
+func phaseCells(services []string, n int, seed int64, scaleOnly bool) ([][]*testbed.PhaseResult, error) {
+	flat, err := testbed.RunParallel(len(services)*len(phaseKinds), workers,
+		func(i int) (*testbed.PhaseResult, error) {
+			key, kind := services[i/len(phaseKinds)], phaseKinds[i%len(phaseKinds)]
 			if scaleOnly {
-				res, err = testbed.RunScaleUp(key, kind, n, seed)
-			} else {
-				res, err = testbed.RunCreateScaleUp(key, kind, n, seed)
+				return testbed.RunScaleUp(key, kind, n, seed)
 			}
-			if err != nil {
-				return err
-			}
+			return testbed.RunCreateScaleUp(key, kind, n, seed)
+		})
+	if err != nil {
+		return nil, err
+	}
+	cells := make([][]*testbed.PhaseResult, len(services))
+	for si := range services {
+		cells[si] = flat[si*len(phaseKinds) : (si+1)*len(phaseKinds)]
+	}
+	return cells, nil
+}
+
+func phases(title string, services []string, n int, seed int64, scaleOnly bool) error {
+	cells, err := phaseCells(services, n, seed, scaleOnly)
+	if err != nil {
+		return err
+	}
+	t := metrics.NewTable(title, "Service", "Docker", "K8s", "paper says")
+	for si, key := range services {
+		row := []string{key}
+		for ki, kind := range phaseKinds {
+			res := cells[si][ki]
 			if res.Errors > 0 {
 				return fmt.Errorf("%s on %s: %d failed deployments", key, kind, res.Errors)
 			}
@@ -196,15 +223,15 @@ func paperPhaseNote(key string, scaleOnly bool) string {
 func fig13(services []string, seed int64) error {
 	t := metrics.NewTable("Fig. 13 — total time to pull the service images onto the EGS",
 		"Service", "Docker Hub / GCR", "private registry", "saved")
-	for _, key := range services {
-		pub, err := testbed.RunPull(key, false, 10, seed)
-		if err != nil {
-			return err
-		}
-		priv, err := testbed.RunPull(key, true, 10, seed)
-		if err != nil {
-			return err
-		}
+	pulls, err := testbed.RunParallel(len(services)*2, workers,
+		func(i int) (*testbed.PullResult, error) {
+			return testbed.RunPull(services[i/2], i%2 == 1, 10, seed)
+		})
+	if err != nil {
+		return err
+	}
+	for si, key := range services {
+		pub, priv := pulls[si*2], pulls[si*2+1]
 		t.AddRow(key,
 			fmt.Sprintf("%s (%s)", metrics.FmtMS(pub.Times.Median()), pub.Registry),
 			metrics.FmtMS(priv.Times.Median()),
@@ -216,21 +243,15 @@ func fig13(services []string, seed int64) error {
 }
 
 func waits(title string, services []string, n int, seed int64, scaleOnly bool) error {
+	cells, err := phaseCells(services, n, seed, scaleOnly)
+	if err != nil {
+		return err
+	}
 	t := metrics.NewTable(title, "Service", "Docker", "K8s")
-	for _, key := range services {
+	for si, key := range services {
 		row := []string{key}
-		for _, kind := range []cluster.Kind{cluster.Docker, cluster.Kubernetes} {
-			var res *testbed.PhaseResult
-			var err error
-			if scaleOnly {
-				res, err = testbed.RunScaleUp(key, kind, n, seed)
-			} else {
-				res, err = testbed.RunCreateScaleUp(key, kind, n, seed)
-			}
-			if err != nil {
-				return err
-			}
-			row = append(row, metrics.FmtMS(res.Waits.Median()))
+		for ki := range phaseKinds {
+			row = append(row, metrics.FmtMS(cells[si][ki].Waits.Median()))
 		}
 		t.AddRow(row...)
 	}
@@ -247,14 +268,17 @@ func fig16(services []string, warm int, seed int64) error {
 		"resnet":  "significantly longer (inference)",
 		"nginxpy": "≈1 ms",
 	}
-	for _, key := range services {
+	warms, err := testbed.RunParallel(len(services)*len(phaseKinds), workers,
+		func(i int) (*testbed.WarmResult, error) {
+			return testbed.RunWarm(services[i/len(phaseKinds)], phaseKinds[i%len(phaseKinds)], warm, seed)
+		})
+	if err != nil {
+		return err
+	}
+	for si, key := range services {
 		row := []string{key}
-		for _, kind := range []cluster.Kind{cluster.Docker, cluster.Kubernetes} {
-			res, err := testbed.RunWarm(key, kind, warm, seed)
-			if err != nil {
-				return err
-			}
-			row = append(row, metrics.FmtMS(res.Totals.Median()))
+		for ki := range phaseKinds {
+			row = append(row, metrics.FmtMS(warms[si*len(phaseKinds)+ki].Totals.Median()))
 		}
 		row = append(row, notes[key])
 		t.AddRow(row...)

@@ -103,3 +103,46 @@ func BenchmarkPacketSwitchingFanIn(b *testing.B) {
 		}
 	})
 }
+
+// hopDevice bounces every received packet straight back out its own
+// port, counting deliveries. It exercises the raw packet path — pooled
+// packets, inline link events — with no transport on top.
+type hopDevice struct {
+	port  *Port
+	count int64
+}
+
+func (d *hopDevice) DeviceName() string { return "hop" }
+
+func (d *hopDevice) HandlePacket(pkt *Packet, in *Port) {
+	d.count++
+	pkt.Src, pkt.Dst = pkt.Dst, pkt.Src
+	d.port.Send(pkt)
+}
+
+// BenchmarkPacketHop measures one link traversal on the raw packet hot
+// path: two devices ping-ponging a single pooled packet over a link.
+// Steady state must allocate nothing — the packet, the delivery event,
+// and the park/unpark machinery are all recycled.
+func BenchmarkPacketHop(b *testing.B) {
+	clk := vclock.New()
+	clk.Run(func() {
+		n := NewNetwork(clk, 1)
+		da, db := &hopDevice{}, &hopDevice{}
+		da.port = &Port{Dev: da}
+		db.port = &Port{Dev: db}
+		n.Connect(da.port, db.port, LinkConfig{Latency: 10 * time.Microsecond})
+
+		pkt := NewPacket()
+		pkt.Src = HostPort{IP: ParseIP("10.0.0.1"), Port: 1}
+		pkt.Dst = HostPort{IP: ParseIP("10.0.0.2"), Port: 2}
+
+		b.ReportAllocs()
+		b.ResetTimer()
+		da.port.Send(pkt)
+		target := da.count + db.count + int64(b.N)
+		for da.count+db.count < target {
+			clk.Sleep(10 * time.Microsecond)
+		}
+	})
+}

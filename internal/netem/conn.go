@@ -38,43 +38,93 @@ type Conn struct {
 	client bool
 	connID uint64
 
-	established *vclock.Gate
+	established vclock.Gate
 
-	mu       sync.Mutex
-	state    connState
-	failErr  error
-	synTries int
-	synTimer *vclock.Timer
+	mu         sync.Mutex
+	state      connState
+	failErr    error
+	synTries   int
+	synBackoff time.Duration
+	synTimer   vclock.Pending
 
-	sendSeq  uint32 // next message sequence to assign (1-based)
-	unacked  map[uint32]*pendingMsg
+	sendSeq uint32 // next message sequence to assign (1-based)
+	// unacked holds in-flight messages in send order. It is a slice, not
+	// a map: connections rarely have more than a couple outstanding, and
+	// a slice keeps iteration order deterministic and setup free.
+	unacked  []*pendingMsg
+	ubuf     [2]*pendingMsg
 	recvNext uint32 // next in-order message expected
-	recvBuf  map[uint32][]byte
-	inbox    *vclock.Mailbox[[]byte]
+	// recvBuf holds out-of-order arrivals; it is allocated lazily since
+	// in-order delivery (the overwhelmingly common case) never needs it.
+	recvBuf map[uint32][]byte
+	inbox   vclock.Mailbox[[]byte]
 
 	localClosed bool
 	peerClosed  bool
 }
 
+// pendingMsg tracks one unacknowledged message. It owns pkt (each
+// transmission sends a clone) until the ack or the connection's death
+// releases it; callbacks identify it by seq so a recycled packet is
+// never read. Records recycle through pmsgPool, but only when the armed
+// retransmission timer was stopped before firing — a record whose timer
+// callback may still be in flight is left to the GC so the callback can
+// never observe a reused record under the same connection and sequence.
 type pendingMsg struct {
-	pkt   *Packet
-	tries int
-	timer *vclock.Timer
+	pkt     *Packet
+	seq     uint32
+	tries   int
+	backoff time.Duration
+	timer   vclock.Pending
 }
 
+var pmsgPool = sync.Pool{New: func() any { return new(pendingMsg) }}
+
 func newConn(h *Host, local, remote HostPort, client bool) *Conn {
-	return &Conn{
-		host:        h,
-		local:       local,
-		remote:      remote,
-		client:      client,
-		connID:      h.net.nextConnID(),
-		established: vclock.NewGate(),
-		sendSeq:     1,
-		recvNext:    1,
-		unacked:     make(map[uint32]*pendingMsg),
-		recvBuf:     make(map[uint32][]byte),
-		inbox:       vclock.NewMailbox[[]byte](h.net.Clock),
+	c := &Conn{
+		host:     h,
+		local:    local,
+		remote:   remote,
+		client:   client,
+		connID:   h.net.nextConnID(),
+		sendSeq:  1,
+		recvNext: 1,
+	}
+	c.inbox.Init(h.net.Clock)
+	return c
+}
+
+// findUnackedLocked returns the index and record of the in-flight
+// message with the given sequence, or -1, nil. Callers hold c.mu.
+func (c *Conn) findUnackedLocked(seq uint32) (int, *pendingMsg) {
+	for i, p := range c.unacked {
+		if p.seq == seq {
+			return i, p
+		}
+	}
+	return -1, nil
+}
+
+// dropUnackedLocked removes the record at index i, preserving order.
+// Callers hold c.mu.
+func (c *Conn) dropUnackedLocked(i int) {
+	copy(c.unacked[i:], c.unacked[i+1:])
+	c.unacked[len(c.unacked)-1] = nil
+	c.unacked = c.unacked[:len(c.unacked)-1]
+}
+
+// retirePendingLocked releases p's packet and recycles the record when
+// its timer was provably stopped before firing. Callers hold c.mu and
+// have already removed p from c.unacked.
+func retirePendingLocked(p *pendingMsg) {
+	stopped := p.timer.Stop()
+	if p.pkt != nil {
+		p.pkt.Release()
+		p.pkt = nil
+	}
+	if stopped {
+		*p = pendingMsg{}
+		pmsgPool.Put(p)
 	}
 }
 
@@ -86,13 +136,42 @@ func (c *Conn) LocalAddr() HostPort { return c.local }
 // address even when an edge instance answers.
 func (c *Conn) RemoteAddr() HostPort { return c.remote }
 
+// newControlPacket builds a pooled control segment addressed to the peer.
+func (c *Conn) newControlPacket(flags TCPFlags) *Packet {
+	pkt := NewPacket()
+	pkt.Src, pkt.Dst = c.local, c.remote
+	pkt.Flags = flags
+	pkt.ConnID = c.connID
+	return pkt
+}
+
 // startHandshake sends the first SYN and arms the retry schedule.
 func (c *Conn) startHandshake() {
 	c.mu.Lock()
 	c.synTries = 1
 	c.mu.Unlock()
-	c.transmit(&Packet{Src: c.local, Dst: c.remote, Flags: FlagSYN, ConnID: c.connID})
+	c.transmit(c.newControlPacket(FlagSYN))
 	c.armSynTimer(synRetryBase)
+}
+
+// retrySyn is the Post2 callback of the SYN retransmission timer.
+func retrySyn(a, _ any) {
+	c := a.(*Conn)
+	c.mu.Lock()
+	if c.state != stateSynSent {
+		c.mu.Unlock()
+		return
+	}
+	if c.synTries >= synRetries {
+		c.mu.Unlock()
+		c.fail(ErrTimeout)
+		return
+	}
+	c.synTries++
+	backoff := c.synBackoff * 2
+	c.mu.Unlock()
+	c.transmit(c.newControlPacket(FlagSYN))
+	c.armSynTimer(backoff)
 }
 
 func (c *Conn) armSynTimer(backoff time.Duration) {
@@ -101,32 +180,19 @@ func (c *Conn) armSynTimer(backoff time.Duration) {
 	if c.state != stateSynSent {
 		return
 	}
-	c.synTimer = c.host.net.Clock.AfterFunc(backoff, func() {
-		c.mu.Lock()
-		if c.state != stateSynSent {
-			c.mu.Unlock()
-			return
-		}
-		if c.synTries >= synRetries {
-			c.mu.Unlock()
-			c.fail(ErrTimeout)
-			return
-		}
-		c.synTries++
-		c.mu.Unlock()
-		c.transmit(&Packet{Src: c.local, Dst: c.remote, Flags: FlagSYN, ConnID: c.connID})
-		c.armSynTimer(backoff * 2)
-	})
+	c.synBackoff = backoff
+	c.synTimer = c.host.net.Clock.Post2(backoff, retrySyn, c, nil)
 }
 
 func (c *Conn) sendSynAck() {
-	c.transmit(&Packet{Src: c.local, Dst: c.remote, Flags: FlagSYN | FlagACK, ConnID: c.connID})
+	c.transmit(c.newControlPacket(FlagSYN | FlagACK))
 }
 
-// transmit hands a packet to the host's NIC.
+// transmit hands a packet to the host's NIC, passing ownership.
 func (c *Conn) transmit(pkt *Packet) { c.host.send(pkt) }
 
-// handle processes one inbound packet addressed to this connection.
+// handle processes one inbound packet addressed to this connection. The
+// caller retains ownership of pkt; handle only keeps the payload slice.
 func (c *Conn) handle(pkt *Packet) {
 	switch {
 	case pkt.Flags.Has(FlagRST):
@@ -143,14 +209,12 @@ func (c *Conn) handle(pkt *Packet) {
 		c.mu.Lock()
 		if c.state == stateSynSent {
 			c.state = stateEstablished
-			if c.synTimer != nil {
-				c.synTimer.Stop()
-			}
+			c.synTimer.Stop()
 		}
 		c.mu.Unlock()
 		c.established.Open()
 		// Ack completes the handshake; duplicates are harmless.
-		c.transmit(&Packet{Src: c.local, Dst: c.remote, Flags: FlagACK, ConnID: c.connID})
+		c.transmit(c.newControlPacket(FlagACK))
 
 	case pkt.Flags.Has(FlagSYN):
 		// Duplicate SYN from a client whose SYN-ACK was lost or delayed.
@@ -177,45 +241,58 @@ func (c *Conn) handle(pkt *Packet) {
 
 func (c *Conn) handleData(pkt *Packet) {
 	// Always ack, even duplicates: the ack may have been lost.
-	c.transmit(&Packet{Src: c.local, Dst: c.remote, Flags: FlagACK, Ack: pkt.Seq, ConnID: c.connID})
+	ack := c.newControlPacket(FlagACK)
+	ack.Ack = pkt.Seq
+	c.transmit(ack)
 
 	c.mu.Lock()
 	if c.peerClosed || c.state == stateFailed || pkt.Seq < c.recvNext {
 		c.mu.Unlock()
 		return
 	}
+	if pkt.Seq == c.recvNext {
+		// In-order fast path: deliver directly, then drain whatever the
+		// arrival unblocked. recvBuf is untouched (and stays nil) unless
+		// packets actually arrived out of order.
+		first := pkt.Payload
+		c.recvNext++
+		var ready [][]byte
+		for len(c.recvBuf) > 0 {
+			payload, ok := c.recvBuf[c.recvNext]
+			if !ok {
+				break
+			}
+			delete(c.recvBuf, c.recvNext)
+			c.recvNext++
+			ready = append(ready, payload)
+		}
+		c.mu.Unlock()
+		c.inbox.Send(first)
+		for _, payload := range ready {
+			c.inbox.Send(payload)
+		}
+		return
+	}
 	if _, dup := c.recvBuf[pkt.Seq]; dup {
 		c.mu.Unlock()
 		return
 	}
+	if c.recvBuf == nil {
+		c.recvBuf = make(map[uint32][]byte)
+	}
 	c.recvBuf[pkt.Seq] = pkt.Payload
-	var ready [][]byte
-	for {
-		payload, ok := c.recvBuf[c.recvNext]
-		if !ok {
-			break
-		}
-		delete(c.recvBuf, c.recvNext)
-		c.recvNext++
-		ready = append(ready, payload)
-	}
 	c.mu.Unlock()
-	for _, payload := range ready {
-		c.inbox.Send(payload)
-	}
 }
 
 func (c *Conn) handleAck(pkt *Packet) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	p, ok := c.unacked[pkt.Ack]
-	if !ok {
+	i, p := c.findUnackedLocked(pkt.Ack)
+	if p == nil {
 		return
 	}
-	delete(c.unacked, pkt.Ack)
-	if p.timer != nil {
-		p.timer.Stop()
-	}
+	c.dropUnackedLocked(i)
+	retirePendingLocked(p)
 }
 
 // Send transmits one application message reliably. It returns
@@ -237,38 +314,51 @@ func (c *Conn) Send(payload []byte) error {
 	}
 	seq := c.sendSeq
 	c.sendSeq++
-	pkt := &Packet{Src: c.local, Dst: c.remote, Flags: FlagPSH, Seq: seq, Payload: payload, ConnID: c.connID}
-	p := &pendingMsg{pkt: pkt, tries: 1}
-	c.unacked[seq] = p
+	pkt := NewPacket()
+	pkt.Src, pkt.Dst = c.local, c.remote
+	pkt.Flags = FlagPSH
+	pkt.Seq = seq
+	pkt.Payload = payload
+	pkt.ConnID = c.connID
+	p := pmsgPool.Get().(*pendingMsg)
+	p.pkt, p.seq, p.tries, p.backoff = pkt, seq, 1, dataRTO
+	if c.unacked == nil {
+		c.unacked = c.ubuf[:0]
+	}
+	c.unacked = append(c.unacked, p)
+	// Arm the retransmission timer while p is still private to this
+	// critical section, so a record visible in unacked always carries a
+	// live timer handle (the recycling rule depends on Stop's answer).
+	p.timer = c.host.net.Clock.Post2(dataRTO, retryData, c, p)
 	c.mu.Unlock()
 
-	c.transmit(pkt)
-	c.armDataTimer(p, dataRTO)
+	c.transmit(pkt.Clone())
 	return nil
 }
 
-func (c *Conn) armDataTimer(p *pendingMsg, backoff time.Duration) {
+// retryData is the Post2 callback of a data retransmission timer. It
+// checks liveness by sequence number and identity under the connection
+// lock before touching the pending message's packet, so a message acked
+// (and its record recycled) between firing and locking is never read.
+func retryData(a, b any) {
+	c := a.(*Conn)
+	p := b.(*pendingMsg)
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	if _, pending := c.unacked[p.pkt.Seq]; !pending || c.state == stateFailed {
+	if _, cur := c.findUnackedLocked(p.seq); cur != p || c.state == stateFailed {
+		c.mu.Unlock()
 		return
 	}
-	p.timer = c.host.net.Clock.AfterFunc(backoff, func() {
-		c.mu.Lock()
-		if _, pending := c.unacked[p.pkt.Seq]; !pending || c.state == stateFailed {
-			c.mu.Unlock()
-			return
-		}
-		if p.tries >= dataRetries {
-			c.mu.Unlock()
-			c.fail(ErrTimeout)
-			return
-		}
-		p.tries++
+	if p.tries >= dataRetries {
 		c.mu.Unlock()
-		c.transmit(p.pkt)
-		c.armDataTimer(p, backoff*2)
-	})
+		c.fail(ErrTimeout)
+		return
+	}
+	p.tries++
+	p.backoff *= 2
+	resend := p.pkt.Clone()
+	p.timer = c.host.net.Clock.Post2(p.backoff, retryData, c, p)
+	c.mu.Unlock()
+	c.transmit(resend)
 }
 
 // Recv returns the next in-order message. It returns ErrClosed once the
@@ -306,6 +396,17 @@ func (c *Conn) closeReason() error {
 	return ErrClosed
 }
 
+// releaseUnackedLocked stops retransmission timers and recycles the
+// packets (and, where safe, the records) of all pending messages.
+// Callers hold c.mu.
+func (c *Conn) releaseUnackedLocked() {
+	for i, p := range c.unacked {
+		c.unacked[i] = nil
+		retirePendingLocked(p)
+	}
+	c.unacked = c.unacked[:0]
+}
+
 // Close sends FIN (best effort) and releases connection state.
 func (c *Conn) Close() {
 	c.mu.Lock()
@@ -316,21 +417,17 @@ func (c *Conn) Close() {
 	c.localClosed = true
 	sendFin := c.state == stateEstablished
 	c.state = stateClosed
-	for _, p := range c.unacked {
-		if p.timer != nil {
-			p.timer.Stop()
-		}
-	}
+	c.releaseUnackedLocked()
 	c.mu.Unlock()
 	if sendFin {
-		c.transmit(&Packet{Src: c.local, Dst: c.remote, Flags: FlagFIN, ConnID: c.connID})
+		c.transmit(c.newControlPacket(FlagFIN))
 	}
 	c.host.removeConn(c)
 }
 
 // Abort resets the connection immediately, notifying the peer with RST.
 func (c *Conn) Abort() {
-	c.transmit(&Packet{Src: c.local, Dst: c.remote, Flags: FlagRST, ConnID: c.connID})
+	c.transmit(c.newControlPacket(FlagRST))
 	c.fail(ErrReset)
 }
 
@@ -343,14 +440,8 @@ func (c *Conn) fail(err error) {
 	}
 	c.state = stateFailed
 	c.failErr = err
-	if c.synTimer != nil {
-		c.synTimer.Stop()
-	}
-	for _, p := range c.unacked {
-		if p.timer != nil {
-			p.timer.Stop()
-		}
-	}
+	c.synTimer.Stop()
+	c.releaseUnackedLocked()
 	c.mu.Unlock()
 	c.established.Open()
 	c.inbox.Close()

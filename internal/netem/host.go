@@ -71,22 +71,27 @@ func (h *Host) NIC() *Port { return h.nic }
 // Addr returns the full endpoint for a port on this host.
 func (h *Host) Addr(port uint16) HostPort { return HostPort{IP: h.ip, Port: port} }
 
-// send emits a locally originated packet, short-circuiting loopback
-// traffic destined to this host itself.
+// deliverLoopback is the Post2 callback for loopback traffic.
+func deliverLoopback(a, b any) {
+	b.(*Host).HandlePacket(a.(*Packet), nil)
+}
+
+// send emits a locally originated packet, taking ownership of pkt and
+// short-circuiting loopback traffic destined to this host itself.
 func (h *Host) send(pkt *Packet) {
 	if pkt.Dst.IP == h.ip {
-		cp := pkt.Clone()
-		h.net.Clock.AfterFunc(50*time.Microsecond, func() {
-			h.HandlePacket(cp, nil)
-		})
+		h.net.Clock.Post2(50*time.Microsecond, deliverLoopback, pkt, h)
 		return
 	}
 	h.nic.Send(pkt)
 }
 
 // HandlePacket implements Device: demultiplex to a connection or
-// listener, or answer strays with RST.
+// listener, or answer strays with RST. The host owns pkt and recycles it
+// once demultiplexing is done — connection state keeps only the payload
+// slice, never the packet itself.
 func (h *Host) HandlePacket(pkt *Packet, in *Port) {
+	defer pkt.Release()
 	if pkt.Dst.IP != h.ip {
 		h.mu.Lock()
 		h.dropped++
@@ -130,12 +135,11 @@ func (h *Host) HandlePacket(pkt *Packet, in *Port) {
 
 // replyRST answers pkt with a reset, src/dst swapped.
 func (h *Host) replyRST(pkt *Packet) {
-	h.send(&Packet{
-		Src:    pkt.Dst,
-		Dst:    pkt.Src,
-		Flags:  FlagRST,
-		ConnID: pkt.ConnID,
-	})
+	rst := NewPacket()
+	rst.Src, rst.Dst = pkt.Dst, pkt.Src
+	rst.Flags = FlagRST
+	rst.ConnID = pkt.ConnID
+	h.send(rst)
 }
 
 // Dropped reports packets discarded because no connection or listener

@@ -8,7 +8,8 @@ import (
 )
 
 // Device is anything packets can be delivered to: a host NIC, a switch,
-// a router. HandlePacket runs on a clock goroutine and owns the packet.
+// a router. HandlePacket runs on a clock goroutine and owns the packet:
+// it forwards it (ownership passes on) or keeps/releases it.
 type Device interface {
 	DeviceName() string
 	// HandlePacket processes a packet arriving on in. in is nil for
@@ -28,10 +29,11 @@ type Port struct {
 // Peer returns the port at the other end of this port's link, or nil.
 func (p *Port) Peer() *Port { return p.peer }
 
-// Send transmits pkt out of this port onto the attached link. Packets
-// sent on an unconnected port are dropped.
+// Send transmits pkt out of this port onto the attached link, taking
+// ownership of pkt. Packets sent on an unconnected port are dropped.
 func (p *Port) Send(pkt *Packet) {
 	if p.link == nil {
+		pkt.Release()
 		return
 	}
 	p.link.transmit(pkt, p)
@@ -68,15 +70,25 @@ type Link struct {
 	nextFreeA time.Time // for packets leaving a
 	nextFreeB time.Time // for packets leaving b
 
-	// stats
+	// stats: sent counts every packet offered to the direction
+	// (pre-loss); drop counts the subset the link lost.
 	sentA, sentB int64
 	dropA, dropB int64
 }
 
+// deliverPacket hands an arriving packet to the receiving device. It is
+// a top-level Post2 callback so scheduling a delivery allocates nothing.
+func deliverPacket(a, b any) {
+	to := b.(*Port)
+	to.Dev.HandlePacket(a.(*Packet), to)
+}
+
 // transmit models serialization + propagation and schedules delivery of
-// a copy of pkt at the peer device.
+// pkt at the peer device. The link owns pkt from here: the receiver gets
+// this very packet (senders that retransmit pass clones), or the pool
+// gets it back if the link drops it.
 func (l *Link) transmit(pkt *Packet, from *Port) {
-	if l.net != nil {
+	if l.net != nil && l.net.captureActive() {
 		l.net.capturePacket(pkt)
 	}
 	l.mu.Lock()
@@ -96,6 +108,7 @@ func (l *Link) transmit(pkt *Packet, from *Port) {
 			l.dropB++
 		}
 		l.mu.Unlock()
+		pkt.Release()
 		return
 	}
 	now := l.clk.Now()
@@ -112,15 +125,25 @@ func (l *Link) transmit(pkt *Packet, from *Port) {
 	deliverAt := end.Add(l.cfg.Latency)
 	l.mu.Unlock()
 
-	cp := pkt.Clone()
-	l.clk.AfterFunc(deliverAt.Sub(now), func() {
-		to.Dev.HandlePacket(cp, to)
-	})
+	l.clk.Post2(deliverAt.Sub(now), deliverPacket, pkt, to)
 }
 
-// Stats reports packets sent and dropped in each direction (a→b, b→a).
-func (l *Link) Stats() (sentA, dropA, sentB, dropB int64) {
+// LinkStats reports per-direction link counters. Sent counts every
+// packet offered to the link (before the loss decision), Dropped the
+// packets the link lost, and Delivered = Sent − Dropped the packets that
+// reached the far device.
+type LinkStats struct {
+	SentAB, DroppedAB, DeliveredAB int64 // packets leaving port a
+	SentBA, DroppedBA, DeliveredBA int64 // packets leaving port b
+}
+
+// Stats reports packets offered, dropped, and delivered in each
+// direction (a→b, b→a).
+func (l *Link) Stats() LinkStats {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return l.sentA, l.dropA, l.sentB, l.dropB
+	return LinkStats{
+		SentAB: l.sentA, DroppedAB: l.dropA, DeliveredAB: l.sentA - l.dropA,
+		SentBA: l.sentB, DroppedBA: l.dropB, DeliveredBA: l.sentB - l.dropB,
+	}
 }

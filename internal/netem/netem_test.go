@@ -64,6 +64,17 @@ func TestTCPFlagsString(t *testing.T) {
 	}
 }
 
+func TestTCPFlagsStringAllocs(t *testing.T) {
+	// String builds into a fixed-size stack buffer; the only allocation
+	// allowed is the final string copy.
+	for _, f := range []TCPFlags{0, FlagSYN, FlagSYN | FlagACK, FlagFIN | FlagACK | FlagRST} {
+		f := f
+		if n := testing.AllocsPerRun(100, func() { _ = f.String() }); n > 1 {
+			t.Errorf("%q: %v allocs/op, want <= 1", f.String(), n)
+		}
+	}
+}
+
 // pair builds a two-host topology connected through a router:
 // a --- r --- b, with the given per-link config.
 func pair(t *testing.T, clk vclock.Clock, cfg LinkConfig) (*Network, *Host, *Host) {
@@ -552,12 +563,61 @@ func TestLinkStats(t *testing.T) {
 		if _, err := a.Dial(b.Addr(80)); err != nil {
 			t.Fatal(err)
 		}
-		sentA, dropA, sentB, dropB := l.Stats()
-		if sentA == 0 || sentB == 0 {
-			t.Errorf("stats: sentA=%d sentB=%d, want >0 both ways", sentA, sentB)
+		st := l.Stats()
+		if st.SentAB == 0 || st.SentBA == 0 {
+			t.Errorf("stats: sentAB=%d sentBA=%d, want >0 both ways", st.SentAB, st.SentBA)
 		}
-		if dropA != 0 || dropB != 0 {
-			t.Errorf("loss-free link dropped packets: %d/%d", dropA, dropB)
+		if st.DroppedAB != 0 || st.DroppedBA != 0 {
+			t.Errorf("loss-free link dropped packets: %d/%d", st.DroppedAB, st.DroppedBA)
+		}
+		if st.DeliveredAB != st.SentAB || st.DeliveredBA != st.SentBA {
+			t.Errorf("loss-free link: delivered %d/%d != sent %d/%d",
+				st.DeliveredAB, st.DeliveredBA, st.SentAB, st.SentBA)
+		}
+	})
+}
+
+// TestLinkStatsLossy pins the stats contract on a lossy link: Sent counts
+// every packet offered (pre-loss) and Delivered = Sent − Dropped.
+func TestLinkStatsLossy(t *testing.T) {
+	clk := vclock.New()
+	clk.Run(func() {
+		n := NewNetwork(clk, 7)
+		a := n.NewHost("a", ParseIP("10.0.0.1"))
+		b := n.NewHost("b", ParseIP("10.0.0.2"))
+		l := n.Connect(a.NIC(), b.NIC(), LinkConfig{Latency: time.Millisecond, LossRate: 0.3})
+		ln, _ := b.Listen(80)
+		clk.Go(func() {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			for {
+				if _, err := c.Recv(); err != nil {
+					return
+				}
+			}
+		})
+		c, err := a.Dial(b.Addr(80))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 20; i++ {
+			c.Send([]byte("payload"))
+		}
+		clk.Sleep(30 * time.Second)
+		st := l.Stats()
+		if st.DroppedAB == 0 && st.DroppedBA == 0 {
+			t.Errorf("lossy link dropped nothing over %d+%d packets", st.SentAB, st.SentBA)
+		}
+		if st.DeliveredAB != st.SentAB-st.DroppedAB {
+			t.Errorf("a→b delivered=%d, want sent−dropped=%d", st.DeliveredAB, st.SentAB-st.DroppedAB)
+		}
+		if st.DeliveredBA != st.SentBA-st.DroppedBA {
+			t.Errorf("b→a delivered=%d, want sent−dropped=%d", st.DeliveredBA, st.SentBA-st.DroppedBA)
+		}
+		if st.DeliveredAB <= 0 || st.DeliveredBA <= 0 {
+			t.Errorf("delivered counts not positive: %d/%d", st.DeliveredAB, st.DeliveredBA)
 		}
 	})
 }

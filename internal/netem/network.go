@@ -3,6 +3,7 @@ package netem
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/c3lab/transparentedge/internal/vclock"
@@ -22,7 +23,10 @@ type Network struct {
 	byIP    map[IP]*Host
 	links   []*Link
 	nextCID uint64
-	capture CaptureFunc
+	// capture holds the installed tap behind an atomic pointer so the
+	// per-packet fast path is one load, no lock, and no packet Clone
+	// when no tap is registered.
+	capture atomic.Pointer[CaptureFunc]
 }
 
 // NewNetwork returns an empty topology driven by clk. seed feeds the
@@ -84,21 +88,23 @@ func (n *Network) Connect(a, b *Port, cfg LinkConfig) *Link {
 
 // SetCapture installs a packet tap on every link (pass nil to remove).
 // The function is called synchronously from transmit paths and must be
-// fast and thread-safe; packets are shared copies and must not be
-// mutated.
+// fast and thread-safe. The tap owns the copies it receives and may
+// retain them; it must not mutate or Release packets it did not copy.
 func (n *Network) SetCapture(fn CaptureFunc) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	n.capture = fn
+	if fn == nil {
+		n.capture.Store(nil)
+		return
+	}
+	n.capture.Store(&fn)
 }
+
+// captureActive reports whether a tap is installed.
+func (n *Network) captureActive() bool { return n.capture.Load() != nil }
 
 // capturePacket taps one transmitted packet.
 func (n *Network) capturePacket(pkt *Packet) {
-	n.mu.Lock()
-	fn := n.capture
-	n.mu.Unlock()
-	if fn != nil {
-		fn(n.Clock.Now(), pkt.Clone())
+	if fn := n.capture.Load(); fn != nil {
+		(*fn)(n.Clock.Now(), pkt.Clone())
 	}
 }
 

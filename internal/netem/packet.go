@@ -2,7 +2,7 @@ package netem
 
 import (
 	"fmt"
-	"strings"
+	"sync"
 )
 
 // TCPFlags carries the subset of TCP control bits the emulation models.
@@ -20,21 +20,30 @@ const (
 // Has reports whether all bits in f are set.
 func (t TCPFlags) Has(f TCPFlags) bool { return t&f == f }
 
-// String renders the flags like "SYN|ACK".
+// flagNames orders the render of String; the bit order matches the
+// constant declarations above.
+var flagNames = [...]string{"SYN", "ACK", "FIN", "RST", "PSH"}
+
+// String renders the flags like "SYN|ACK". It builds the result in a
+// fixed-size stack buffer — one allocation (the returned string), never
+// an intermediate slice — because capture and trace paths format every
+// packet.
 func (t TCPFlags) String() string {
-	var parts []string
-	for _, e := range []struct {
-		f TCPFlags
-		s string
-	}{{FlagSYN, "SYN"}, {FlagACK, "ACK"}, {FlagFIN, "FIN"}, {FlagRST, "RST"}, {FlagPSH, "PSH"}} {
-		if t.Has(e.f) {
-			parts = append(parts, e.s)
-		}
-	}
-	if len(parts) == 0 {
+	if t == 0 {
 		return "-"
 	}
-	return strings.Join(parts, "|")
+	var buf [len(flagNames)*4 - 1]byte
+	b := buf[:0]
+	for i, name := range flagNames {
+		if t&(1<<i) == 0 {
+			continue
+		}
+		if len(b) > 0 {
+			b = append(b, '|')
+		}
+		b = append(b, name...)
+	}
+	return string(b)
 }
 
 // headerOverhead is the modelled per-packet wire overhead
@@ -42,8 +51,13 @@ func (t TCPFlags) String() string {
 const headerOverhead = 66
 
 // Packet is one TCP segment travelling through the emulated network.
-// Devices may rewrite the address fields in place on a copy they own;
-// links always hand each receiver its own copy.
+//
+// Packets carry explicit ownership: Port.Send and Host-level transmit
+// take ownership of the packet they are handed, and a Device owns every
+// packet HandlePacket delivers to it — it either forwards the packet
+// (passing ownership on) or is responsible for it afterwards. Owners may
+// rewrite the address fields in place. A sender that needs to keep a
+// packet (retransmit queues, capture taps) must transmit a Clone.
 type Packet struct {
 	Src, Dst HostPort
 	Flags    TCPFlags
@@ -59,14 +73,37 @@ type Packet struct {
 	ConnID uint64
 }
 
+// pktPool recycles Packet structs so the steady-state forwarding path
+// allocates nothing. Payload backing arrays are never pooled: they are
+// shared, immutable-once-sent, and may outlive the packet (the receiver
+// keeps the slice).
+var pktPool = sync.Pool{New: func() any { return new(Packet) }}
+
+// NewPacket returns a zeroed packet from the pool. The caller owns it.
+func NewPacket() *Packet {
+	p := pktPool.Get().(*Packet)
+	*p = Packet{}
+	return p
+}
+
+// Release returns a packet to the pool. Only the packet's owner may call
+// it, and must not touch the packet afterwards. Releasing is optional —
+// an unreleased packet just falls to the garbage collector — so holders
+// of indefinitely retained copies (captures, controller-held packets)
+// can simply keep them.
+func (p *Packet) Release() {
+	pktPool.Put(p)
+}
+
 // WireSize is the modelled size in bytes used for serialization delay.
 func (p *Packet) WireSize() int { return headerOverhead + len(p.Payload) }
 
-// Clone returns a deep copy; the payload slice is shared (treated as
-// immutable once sent).
+// Clone returns a deep copy from the packet pool; the payload slice is
+// shared (treated as immutable once sent).
 func (p *Packet) Clone() *Packet {
-	q := *p
-	return &q
+	q := pktPool.Get().(*Packet)
+	*q = *p
+	return q
 }
 
 // String renders a compact single-line description for logs and tests.

@@ -3,6 +3,8 @@ package netem
 import (
 	"sync"
 	"time"
+
+	"github.com/c3lab/transparentedge/internal/vclock"
 )
 
 // Router is a plain L3 forwarding device with static host routes and an
@@ -11,6 +13,7 @@ import (
 // OpenFlow switch, which implements Device separately.
 type Router struct {
 	name string
+	clk  vclock.Clock
 
 	mu       sync.Mutex
 	ports    []*Port
@@ -18,7 +21,6 @@ type Router struct {
 	fallback *Port
 	// ForwardDelay models lookup/queuing latency per forwarded packet.
 	ForwardDelay time.Duration
-	clockDelay   func(time.Duration, func())
 	dropped      int64
 }
 
@@ -26,15 +28,8 @@ type Router struct {
 func NewRouter(n *Network, name string, ports int) *Router {
 	r := &Router{
 		name:   name,
+		clk:    n.Clock,
 		routes: make(map[IP]*Port),
-	}
-	clk := n.Clock
-	r.clockDelay = func(d time.Duration, fn func()) {
-		if d <= 0 {
-			fn()
-			return
-		}
-		clk.AfterFunc(d, fn)
 	}
 	for i := 0; i < ports; i++ {
 		r.ports = append(r.ports, &Port{Dev: r, ID: i})
@@ -62,7 +57,11 @@ func (r *Router) SetDefault(out *Port) {
 	r.fallback = out
 }
 
-// HandlePacket implements Device.
+// forwardOut is the Post2 callback for delayed forwarding.
+func forwardOut(a, b any) { b.(*Port).Send(a.(*Packet)) }
+
+// HandlePacket implements Device: the router owns pkt and forwards it
+// out the routed port (ownership passes on) or recycles it on drop.
 func (r *Router) HandlePacket(pkt *Packet, in *Port) {
 	r.mu.Lock()
 	out := r.routes[pkt.Dst.IP]
@@ -72,10 +71,16 @@ func (r *Router) HandlePacket(pkt *Packet, in *Port) {
 	if out == nil || out == in {
 		r.dropped++
 		r.mu.Unlock()
+		pkt.Release()
 		return
 	}
+	delay := r.ForwardDelay
 	r.mu.Unlock()
-	r.clockDelay(r.ForwardDelay, func() { out.Send(pkt) })
+	if delay <= 0 {
+		out.Send(pkt)
+		return
+	}
+	r.clk.Post2(delay, forwardOut, pkt, out)
 }
 
 // Dropped reports packets without a usable route.

@@ -358,6 +358,7 @@ func (s *Switch) apply(pkt *netem.Packet, inPort int, actions []Action) {
 			s.mu.Lock()
 			s.dropped++
 			s.mu.Unlock()
+			pkt.Release()
 			return
 		}
 	}
@@ -365,6 +366,7 @@ func (s *Switch) apply(pkt *netem.Packet, inPort int, actions []Action) {
 	s.mu.Lock()
 	s.dropped++
 	s.mu.Unlock()
+	pkt.Release()
 }
 
 func (s *Switch) send(pkt *netem.Packet, port int) {
@@ -372,6 +374,7 @@ func (s *Switch) send(pkt *netem.Packet, port int) {
 		s.mu.Lock()
 		s.dropped++
 		s.mu.Unlock()
+		pkt.Release()
 		return
 	}
 	s.ports[port-1].Send(pkt)
@@ -388,6 +391,7 @@ func (s *Switch) forwardNormal(pkt *netem.Packet) {
 		s.mu.Lock()
 		s.dropped++
 		s.mu.Unlock()
+		pkt.Release()
 		return
 	}
 	s.send(pkt, port)
@@ -398,11 +402,14 @@ func (s *Switch) puntToController(pkt *netem.Packet, inPort int) {
 	connected := s.connected
 	s.punted++
 	s.mu.Unlock()
+	defer pkt.Release()
 	if !connected {
 		return
 	}
+	// The controller keeps the punted copy indefinitely (held packets),
+	// so it gets its own clone and never releases it.
 	cp := pkt.Clone()
-	s.clk.AfterFunc(s.CtrlLatency, func() {
+	s.clk.Post(s.CtrlLatency, func() {
 		s.packetIns.Send(PacketIn{Pkt: cp, InPort: inPort})
 	})
 }
@@ -422,7 +429,7 @@ func (s *Switch) InstallFlow(spec FlowSpec) {
 		s.scheduleIdleCheck(e, spec.IdleTimeout)
 	}
 	if spec.HardTimeout > 0 {
-		s.clk.AfterFunc(spec.HardTimeout, func() {
+		s.clk.Post(spec.HardTimeout, func() {
 			s.evict(e, false)
 		})
 	}
@@ -431,7 +438,7 @@ func (s *Switch) InstallFlow(spec FlowSpec) {
 // scheduleIdleCheck arms the idle-eviction timer after wait, re-arming
 // lazily when the entry has seen traffic within its idle timeout.
 func (s *Switch) scheduleIdleCheck(e *flowEntry, wait time.Duration) {
-	s.clk.AfterFunc(wait, func() {
+	s.clk.Post(wait, func() {
 		s.mu.Lock()
 		if e.removed {
 			s.mu.Unlock()
@@ -462,7 +469,7 @@ func (s *Switch) evict(e *flowEntry, idle bool) {
 	s.mu.Unlock()
 	if connected {
 		msg := FlowRemoved{Match: e.Match, Cookie: e.Cookie, IdleTimeout: idle}
-		s.clk.AfterFunc(s.CtrlLatency, func() {
+		s.clk.Post(s.CtrlLatency, func() {
 			s.removals.Send(msg)
 		})
 	}

@@ -1,0 +1,65 @@
+package testbed
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// RunParallel evaluates run(i) for every i in [0, n) across a pool of
+// worker goroutines and returns the results in index order, so output
+// built from them is byte-identical to a sequential loop regardless of
+// worker count. workers <= 0 sizes the pool by GOMAXPROCS; workers == 1
+// degenerates to an in-order sequential run through the same code path.
+//
+// Each invocation must be self-contained — in this package every Run*
+// experiment builds its own Virtual clock and testbed, which makes
+// replications embarrassingly parallel across OS threads. If any
+// invocation fails, the error of the lowest index is returned (again
+// independent of scheduling); results of successful invocations are
+// still filled in.
+func RunParallel[T any](n, workers int, run func(i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	results := make([]T, n)
+	errs := make([]error, n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			results[i], errs[i] = run(i)
+		}
+		return results, firstError(errs)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				results[i], errs[i] = run(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return results, firstError(errs)
+}
+
+func firstError(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,107 @@
+package testbed
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/c3lab/transparentedge/internal/cluster"
+	"github.com/c3lab/transparentedge/internal/metrics"
+)
+
+func TestRunParallelOrdering(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 3, 8, 100} {
+		got, err := RunParallel(10, workers, func(i int) (int, error) {
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got) != 10 {
+			t.Fatalf("workers=%d: got %d results", workers, len(got))
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Errorf("workers=%d: result[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestRunParallelEmpty(t *testing.T) {
+	got, err := RunParallel(0, 4, func(i int) (int, error) {
+		t.Fatal("run called for n=0")
+		return 0, nil
+	})
+	if err != nil || got != nil {
+		t.Fatalf("got %v, %v; want nil, nil", got, err)
+	}
+}
+
+func TestRunParallelLowestIndexError(t *testing.T) {
+	// Multiple invocations fail; the reported error must be the lowest
+	// failing index regardless of scheduling, so error output is as
+	// deterministic as success output.
+	for _, workers := range []int{1, 4} {
+		_, err := RunParallel(20, workers, func(i int) (int, error) {
+			if i%7 == 3 { // fails at 3, 10, 17
+				return 0, fmt.Errorf("task %d failed", i)
+			}
+			return i, nil
+		})
+		if err == nil || err.Error() != "task 3 failed" {
+			t.Fatalf("workers=%d: err = %v, want task 3 failed", workers, err)
+		}
+	}
+}
+
+func TestRunParallelUsesWorkers(t *testing.T) {
+	// With 4 workers and tasks that block until all 4 are running, the
+	// run can only complete if invocations genuinely overlap.
+	var inFlight atomic.Int32
+	done := make(chan struct{})
+	_, err := RunParallel(4, 4, func(i int) (int, error) {
+		if inFlight.Add(1) == 4 {
+			close(done)
+		}
+		select {
+		case <-done:
+			return i, nil
+		case <-time.After(10 * time.Second):
+			return 0, errors.New("workers did not overlap")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestParallelDeterminism is the guard for the -parallel flag: one
+// experiment replicated sequentially and through a multi-worker pool
+// must produce byte-identical formatted medians. Each replication owns
+// its Virtual clock and RNG, so worker count must not leak into results.
+func TestParallelDeterminism(t *testing.T) {
+	kinds := []cluster.Kind{cluster.Docker, cluster.Kubernetes}
+	run := func(workers int) []string {
+		res, err := RunParallel(len(kinds)*2, workers, func(i int) (*PhaseResult, error) {
+			return RunScaleUp("nginx", kinds[i/2], 3, int64(42+i%2))
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]string, len(res))
+		for i, r := range res {
+			out[i] = metrics.FmtMS(r.Totals.Median()) + "/" + metrics.FmtMS(r.Waits.Median())
+		}
+		return out
+	}
+	seq := run(1)
+	par := run(4)
+	for i := range seq {
+		if seq[i] != par[i] {
+			t.Errorf("replication %d: sequential %q != parallel %q", i, seq[i], par[i])
+		}
+	}
+}

@@ -10,7 +10,10 @@
 // timings on every run.
 package vclock
 
-import "time"
+import (
+	"sync"
+	"time"
+)
 
 // Clock is the time source used by every emulated component.
 //
@@ -26,28 +29,100 @@ type Clock interface {
 	Sleep(d time.Duration)
 	// AfterFunc schedules fn to run in its own tracked goroutine after d.
 	AfterFunc(d time.Duration, fn func()) *Timer
+	// Post schedules fn to run inline on the clock's event loop after d.
+	// fn must not block: it may schedule further events, send to
+	// mailboxes, and wake waiters, but must never park. Under a Virtual
+	// clock this fires with no per-event goroutine; code that blocks
+	// belongs in AfterFunc.
+	Post(d time.Duration, fn func()) Pending
+	// Post2 is Post for a pre-bound callback fn(a, b). With a top-level
+	// fn and pointer operands the call allocates nothing.
+	Post2(d time.Duration, fn func(a, b any), a, b any) Pending
 	// Go starts fn in a goroutine tracked by this clock.
 	Go(fn func())
 	// Since returns the clock time elapsed since t.
 	Since(t time.Time) time.Duration
 
-	// newWaiter returns a park/unpark pair. wait parks the calling
-	// goroutine until wake is called (exactly once each). It backs the
-	// blocking primitives in this package and keeps the virtual
-	// scheduler's runnable count accurate.
-	newWaiter() (wait func(), wake func())
+	// newWaiter returns a pooled park/unpark pair: wait() parks the
+	// calling goroutine until wake() is called (exactly once each). It
+	// backs the blocking primitives in this package and keeps the
+	// virtual scheduler's runnable count accurate. Callers release() the
+	// waiter once wait has returned and no reference to it remains.
+	newWaiter() *waiter
+}
+
+// waiter is the parking primitive behind Sleep, Mailbox, Cond, and Gate:
+// one reusable buffered channel plus the bookkeeping that tells a
+// Virtual clock the goroutine is parked. Waiters are recycled through a
+// per-clock pool so steady-state parking allocates nothing.
+type waiter struct {
+	v    *Virtual // nil when owned by a Real clock
+	pool *sync.Pool
+	ch   chan struct{}
+}
+
+// wait parks the calling goroutine until wake is called.
+func (w *waiter) wait() {
+	if w.v != nil {
+		w.v.mu.Lock()
+		w.v.running--
+		w.v.maybeAdvanceLocked()
+		w.v.mu.Unlock()
+	}
+	<-w.ch
+}
+
+// wake unparks the waiter. It must be called exactly once per wait.
+func (w *waiter) wake() {
+	if w.v != nil {
+		w.v.mu.Lock()
+		w.v.running++
+		w.v.mu.Unlock()
+	}
+	w.ch <- struct{}{}
+}
+
+// release returns the waiter to its clock's pool. Only call it after
+// wait has returned and every party that could wake it has settled.
+func (w *waiter) release() {
+	if w.pool != nil {
+		w.pool.Put(w)
+	}
+}
+
+// Pending is a handle to one scheduled Post/Post2 (or AfterFunc) call.
+// The zero value is valid and refers to nothing; Stop on it reports
+// false.
+type Pending struct {
+	v   *Virtual
+	ev  *event
+	gen uint64
+	rt  *time.Timer // wall-clock backing, for Real
+}
+
+// Stop cancels the scheduled call. It reports whether the call was
+// prevented from running; false means it already ran, was already
+// stopped, or the handle is zero.
+func (p Pending) Stop() bool {
+	if p.rt != nil {
+		return p.rt.Stop()
+	}
+	if p.v == nil {
+		return false
+	}
+	return p.v.stopEvent(p.ev, p.gen)
 }
 
 // A Timer represents a single scheduled call created by AfterFunc.
 type Timer struct {
-	stop func() bool
+	p Pending
 }
 
 // Stop cancels the timer. It reports whether the call was prevented from
 // running; false means it already ran or was already stopped.
 func (t *Timer) Stop() bool {
-	if t == nil || t.stop == nil {
+	if t == nil {
 		return false
 	}
-	return t.stop()
+	return t.p.Stop()
 }

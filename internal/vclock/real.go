@@ -1,6 +1,9 @@
 package vclock
 
-import "time"
+import (
+	"sync"
+	"time"
+)
 
 // Real is a wall-clock implementation of Clock, optionally time-scaled.
 //
@@ -16,6 +19,8 @@ type Real struct {
 	base     time.Time // wall instant the clock was created
 	baseSim  time.Time // clock instant corresponding to base
 	haveBase bool
+
+	wpool sync.Pool // *waiter freelist
 }
 
 // NewReal returns an unscaled wall clock.
@@ -62,7 +67,22 @@ func (r *Real) AfterFunc(d time.Duration, fn func()) *Timer {
 		d = 0
 	}
 	t := time.AfterFunc(time.Duration(float64(d)/r.scale()), fn)
-	return &Timer{stop: t.Stop}
+	return &Timer{p: Pending{rt: t}}
+}
+
+// Post schedules fn after d of clock time. Under a wall clock it runs on
+// the timer goroutine like AfterFunc; the no-blocking contract only
+// constrains virtual-clock call sites.
+func (r *Real) Post(d time.Duration, fn func()) Pending {
+	if d < 0 {
+		d = 0
+	}
+	return Pending{rt: time.AfterFunc(time.Duration(float64(d)/r.scale()), fn)}
+}
+
+// Post2 is Post for a pre-bound callback.
+func (r *Real) Post2(d time.Duration, fn func(a, b any), a, b any) Pending {
+	return r.Post(d, func() { fn(a, b) })
 }
 
 // Go starts fn in a plain goroutine.
@@ -72,7 +92,9 @@ func (r *Real) Go(fn func()) { go fn() }
 // clocks uniformly.
 func (r *Real) Run(fn func()) { fn() }
 
-func (r *Real) newWaiter() (wait func(), wake func()) {
-	ch := make(chan struct{}, 1)
-	return func() { <-ch }, func() { ch <- struct{}{} }
+func (r *Real) newWaiter() *waiter {
+	if w, ok := r.wpool.Get().(*waiter); ok {
+		return w
+	}
+	return &waiter{pool: &r.wpool, ch: make(chan struct{}, 1)}
 }

@@ -15,7 +15,7 @@ type Cond struct {
 }
 
 type condWaiter struct {
-	wake    func()
+	w       *waiter
 	settled bool
 }
 
@@ -27,40 +27,40 @@ func NewCond(clk Clock, l sync.Locker) *Cond {
 // Wait atomically releases c.L, parks until Signal/Broadcast, and
 // re-acquires c.L before returning.
 func (c *Cond) Wait() {
-	wait, wake := c.clk.newWaiter()
-	w := &condWaiter{wake: wake}
+	cw := &condWaiter{w: c.clk.newWaiter()}
 	c.mu.Lock()
-	c.waiters = append(c.waiters, w)
+	c.waiters = append(c.waiters, cw)
 	c.mu.Unlock()
 	c.L.Unlock()
-	wait()
+	cw.w.wait()
+	cw.w.release()
 	c.L.Lock()
 }
 
 // WaitTimeout is Wait with a deadline; it reports false if the deadline
 // expired before a Signal/Broadcast reached this waiter.
 func (c *Cond) WaitTimeout(d time.Duration) bool {
-	wait, wake := c.clk.newWaiter()
-	w := &condWaiter{wake: wake}
+	cw := &condWaiter{w: c.clk.newWaiter()}
 	c.mu.Lock()
-	c.waiters = append(c.waiters, w)
+	c.waiters = append(c.waiters, cw)
 	c.mu.Unlock()
 
 	signalled := true
-	timer := c.clk.AfterFunc(d, func() {
+	pending := c.clk.Post(d, func() {
 		c.mu.Lock()
-		if w.settled {
+		if cw.settled {
 			c.mu.Unlock()
 			return
 		}
-		w.settled = true
+		cw.settled = true
 		signalled = false
 		c.mu.Unlock()
-		w.wake()
+		cw.w.wake()
 	})
 	c.L.Unlock()
-	wait()
-	timer.Stop()
+	cw.w.wait()
+	pending.Stop()
+	cw.w.release()
 	c.L.Lock()
 	return signalled
 }
@@ -68,19 +68,19 @@ func (c *Cond) WaitTimeout(d time.Duration) bool {
 // Signal wakes one waiter, if any.
 func (c *Cond) Signal() {
 	c.mu.Lock()
-	var wk func()
+	var wk *waiter
 	for len(c.waiters) > 0 {
 		w := c.waiters[0]
 		c.waiters = c.waiters[1:]
 		if !w.settled {
 			w.settled = true
-			wk = w.wake
+			wk = w.w
 			break
 		}
 	}
 	c.mu.Unlock()
 	if wk != nil {
-		wk()
+		wk.wake()
 	}
 }
 
@@ -89,32 +89,47 @@ func (c *Cond) Broadcast() {
 	c.mu.Lock()
 	ws := c.waiters
 	c.waiters = nil
-	var wakes []func()
+	var wakes []*waiter
 	for _, w := range ws {
 		if !w.settled {
 			w.settled = true
-			wakes = append(wakes, w.wake)
+			wakes = append(wakes, w.w)
 		}
 	}
 	c.mu.Unlock()
 	for _, wk := range wakes {
-		wk()
+		wk.wake()
 	}
 }
 
 // Gate is a one-shot latch: goroutines Wait until someone calls Open.
 // Opening an already-open gate is a no-op. It replaces the common
-// close-a-channel idiom in clock-aware code.
+// close-a-channel idiom in clock-aware code. The zero value is a closed
+// gate ready for use, so a Gate embeds by value without a constructor;
+// plain Wait/Open cycles allocate nothing.
 type Gate struct {
-	mu      sync.Mutex
-	open    bool
-	waiters []func()
+	mu   sync.Mutex
+	open bool
+	// waiters holds parked plain Waits; only Open wakes them, so they
+	// need no settle flag. wbuf backs the common 1–2 waiter case inline.
+	waiters []*waiter
+	wbuf    [2]*waiter
+	// twaiters holds WaitTimeout parkers, which race Open against their
+	// deadline and therefore carry a settle flag.
+	twaiters []*gateWaiter
+}
+
+type gateWaiter struct {
+	w       *waiter
+	settled bool
 }
 
 // NewGate returns a closed gate. The zero value is also usable.
 func NewGate() *Gate { return &Gate{} }
 
-// Open releases all current and future waiters.
+// Open releases all current and future waiters. Waking is done with the
+// gate lock held: wake never blocks (buffered channel plus clock
+// bookkeeping), and doing it inline avoids copying the waiter list.
 func (g *Gate) Open() {
 	g.mu.Lock()
 	if g.open {
@@ -122,12 +137,19 @@ func (g *Gate) Open() {
 		return
 	}
 	g.open = true
-	ws := g.waiters
-	g.waiters = nil
-	g.mu.Unlock()
-	for _, wk := range ws {
-		wk()
+	for i, w := range g.waiters {
+		g.waiters[i] = nil
+		w.wake()
 	}
+	g.waiters = nil
+	for _, gw := range g.twaiters {
+		if !gw.settled {
+			gw.settled = true
+			gw.w.wake()
+		}
+	}
+	g.twaiters = nil
+	g.mu.Unlock()
 }
 
 // IsOpen reports whether the gate has been opened.
@@ -144,10 +166,14 @@ func (g *Gate) Wait(clk Clock) {
 		g.mu.Unlock()
 		return
 	}
-	wait, wake := clk.newWaiter()
-	g.waiters = append(g.waiters, wake)
+	w := clk.newWaiter()
+	if g.waiters == nil {
+		g.waiters = g.wbuf[:0]
+	}
+	g.waiters = append(g.waiters, w)
 	g.mu.Unlock()
-	wait()
+	w.wait()
+	w.release()
 }
 
 // WaitTimeout parks until the gate opens or d elapses; it reports whether
@@ -158,34 +184,25 @@ func (g *Gate) WaitTimeout(clk Clock, d time.Duration) bool {
 		g.mu.Unlock()
 		return true
 	}
-	wait, wake := clk.newWaiter()
-	settled := false
-	opened := true
-	g.waiters = append(g.waiters, func() {
-		g.mu.Lock()
-		if settled {
-			g.mu.Unlock()
-			return
-		}
-		settled = true
-		g.mu.Unlock()
-		wake()
-	})
+	gw := &gateWaiter{w: clk.newWaiter()}
+	g.twaiters = append(g.twaiters, gw)
 	g.mu.Unlock()
 
-	timer := clk.AfterFunc(d, func() {
+	opened := true
+	pending := clk.Post(d, func() {
 		g.mu.Lock()
-		if settled {
+		if gw.settled {
 			g.mu.Unlock()
 			return
 		}
-		settled = true
+		gw.settled = true
 		opened = false
 		g.mu.Unlock()
-		wake()
+		gw.w.wake()
 	})
-	wait()
-	timer.Stop()
+	gw.w.wait()
+	pending.Stop()
+	gw.w.release()
 	return opened
 }
 
@@ -194,7 +211,7 @@ func (g *Gate) WaitTimeout(clk Clock, d time.Duration) bool {
 type Group struct {
 	mu    sync.Mutex
 	n     int
-	gates []func()
+	gates []*waiter
 }
 
 // Add increments the pending-goroutine count by delta.
@@ -205,14 +222,14 @@ func (g *Group) Add(delta int) {
 		g.mu.Unlock()
 		panic("vclock: negative Group counter")
 	}
-	var wakes []func()
+	var wakes []*waiter
 	if g.n == 0 {
 		wakes = g.gates
 		g.gates = nil
 	}
 	g.mu.Unlock()
 	for _, wk := range wakes {
-		wk()
+		wk.wake()
 	}
 }
 
@@ -235,8 +252,9 @@ func (g *Group) Wait(clk Clock) {
 		g.mu.Unlock()
 		return
 	}
-	wait, wake := clk.newWaiter()
-	g.gates = append(g.gates, wake)
+	w := clk.newWaiter()
+	g.gates = append(g.gates, w)
 	g.mu.Unlock()
-	wait()
+	w.wait()
+	w.release()
 }

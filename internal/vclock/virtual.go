@@ -1,9 +1,9 @@
 package vclock
 
 import (
-	"container/heap"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -14,6 +14,11 @@ import (
 // package), the goroutine that parked last advances the clock to the
 // earliest pending event and fires it. Events at the same instant fire in
 // the order they were scheduled, so runs are reproducible.
+//
+// The engine is allocation-free on its steady-state paths: event structs
+// are recycled through a freelist, waiter park/unpark channels through a
+// sync.Pool, and Post/Post2 callbacks run inline on the advancing
+// goroutine instead of spawning a goroutine per firing.
 type Virtual struct {
 	mu      sync.Mutex
 	now     time.Time
@@ -21,49 +26,142 @@ type Virtual struct {
 	events  eventHeap
 	running int
 	stopped bool
+	free    []*event // event freelist, guarded by mu
+
+	// base and offNS mirror now for lock-free reads: Now() is an atomic
+	// load instead of a mutex acquisition. Time only moves while every
+	// goroutine is parked, so the two views can never disagree from a
+	// runnable goroutine's perspective.
+	base  time.Time
+	offNS atomic.Int64
+
+	wpool sync.Pool // *waiter freelist
 }
+
+// eventKind selects how a popped event fires.
+type eventKind uint8
+
+const (
+	// evWake unparks the event's waiter (Sleep wake-ups). Fires with the
+	// clock mutex held; only touches scheduler state.
+	evWake eventKind = iota
+	// evGo spawns a fresh tracked goroutine running fn (AfterFunc).
+	evGo
+	// evPost runs fn inline on the advancing goroutine, without the
+	// clock mutex. fn must not block.
+	evPost
+	// evPost2 is evPost for a pre-bound fn2(a, b) callback, so call
+	// sites avoid a closure allocation.
+	evPost2
+)
 
 type event struct {
 	at    time.Time
 	seq   uint64
 	index int // heap index; -1 when popped or cancelled
-	// fire runs with the clock mutex held; it must only adjust scheduler
-	// state and hand wake-ups to goroutines, never block.
-	fire func()
+	// gen guards Pending handles against freelist reuse: a handle whose
+	// generation no longer matches refers to a recycled event.
+	gen  uint64
+	kind eventKind
+	fn   func()
+	fn2  func(a, b any)
+	a, b any
+	w    *waiter
 }
 
+// eventHeap is a binary min-heap ordered by (at, seq). The sift routines
+// are hand-rolled rather than going through container/heap: the event
+// heap is the single hottest data structure in a simulation and the
+// interface-based API costs an indirect call per comparison and swap.
 type eventHeap []*event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if !h[i].at.Equal(h[j].at) {
 		return h[i].at.Before(h[j].at)
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int) {
+
+func (h eventHeap) swap(i, j int) {
 	h[i], h[j] = h[j], h[i]
 	h[i].index = i
 	h[j].index = j
 }
-func (h *eventHeap) Push(x any) {
-	ev := x.(*event)
+
+// push appends ev and restores the heap property.
+func (h *eventHeap) push(ev *event) {
 	ev.index = len(*h)
 	*h = append(*h, ev)
+	h.up(ev.index)
 }
-func (h *eventHeap) Pop() any {
+
+// pop removes and returns the earliest event.
+func (h *eventHeap) pop() *event {
 	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
+	n := len(old) - 1
+	old.swap(0, n)
+	ev := old[n]
+	old[n] = nil
 	ev.index = -1
-	*h = old[:n-1]
+	*h = old[:n]
+	if n > 0 {
+		(*h).down(0)
+	}
 	return ev
+}
+
+// remove deletes the event at index i.
+func (h *eventHeap) remove(i int) {
+	old := *h
+	n := len(old) - 1
+	if i != n {
+		old.swap(i, n)
+	}
+	old[n].index = -1
+	old[n] = nil
+	*h = old[:n]
+	if i < n {
+		if !(*h).down(i) {
+			(*h).up(i)
+		}
+	}
+}
+
+func (h eventHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+// down reports whether the element moved.
+func (h eventHeap) down(i0 int) bool {
+	i, n := i0, len(h)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		j := left
+		if right := left + 1; right < n && h.less(right, left) {
+			j = right
+		}
+		if !h.less(j, i) {
+			break
+		}
+		h.swap(i, j)
+		i = j
+	}
+	return i > i0
 }
 
 // NewVirtual returns a virtual clock whose time starts at start.
 func NewVirtual(start time.Time) *Virtual {
-	return &Virtual{now: start}
+	return &Virtual{now: start, base: start}
 }
 
 // Epoch is the default start instant for simulations: an arbitrary fixed
@@ -73,11 +171,11 @@ var Epoch = time.Date(2023, 2, 7, 12, 0, 0, 0, time.UTC)
 // New returns a virtual clock starting at Epoch.
 func New() *Virtual { return NewVirtual(Epoch) }
 
-// Now returns the current virtual time.
+// Now returns the current virtual time. It is a single atomic load:
+// time only advances while every clock goroutine is parked, so the
+// mirror can never be observed mid-update by runnable code.
 func (v *Virtual) Now() time.Time {
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	return v.now
+	return v.base.Add(time.Duration(v.offNS.Load()))
 }
 
 // Since returns the virtual time elapsed since t.
@@ -106,6 +204,23 @@ func (v *Virtual) Run(fn func()) {
 	fn()
 }
 
+// reserveStack grows the calling goroutine's stack past the depth of the
+// inline event-advance chain in a single newstack step. Any tracked
+// goroutine can end up running that chain (device handlers nested inside
+// waiter.wait), which is a dozen frames deep; growing the stack while it
+// is still nearly empty copies almost nothing, instead of repeatedly
+// copying a full call stack every time a fresh goroutine parks last. The
+// buffer is pointer-free and never escapes; the dynamic index and the
+// write through the caller's slot keep the array from being optimized
+// away.
+//
+//go:noinline
+func reserveStack(out *byte, i int) {
+	var buf [6 << 10]byte
+	buf[i] = 1
+	*out = buf[i+1]
+}
+
 // Go starts fn in a goroutine tracked by this clock.
 func (v *Virtual) Go(fn func()) {
 	v.mu.Lock()
@@ -113,6 +228,8 @@ func (v *Virtual) Go(fn func()) {
 	v.mu.Unlock()
 	go func() {
 		defer v.exit()
+		var sink byte
+		reserveStack(&sink, 0)
 		fn()
 	}()
 }
@@ -129,86 +246,166 @@ func (v *Virtual) Sleep(d time.Duration) {
 	if d < 0 {
 		d = 0
 	}
-	ch := make(chan struct{}, 1)
+	w := v.newWaiter()
 	v.mu.Lock()
-	v.scheduleLocked(d, func() {
-		v.running++
-		ch <- struct{}{}
-	})
+	ev := v.getEventLocked(d, evWake)
+	ev.w = w
+	v.events.push(ev)
 	v.running--
 	v.maybeAdvanceLocked()
 	v.mu.Unlock()
-	<-ch
+	<-w.ch
+	w.release()
 }
 
 // AfterFunc schedules fn to run in its own tracked goroutine after d of
-// virtual time.
+// virtual time. Use Post instead when fn does not block: it avoids the
+// per-firing goroutine.
 func (v *Virtual) AfterFunc(d time.Duration, fn func()) *Timer {
 	if d < 0 {
 		d = 0
 	}
 	v.mu.Lock()
 	defer v.mu.Unlock()
-	ev := v.scheduleLocked(d, func() {
-		v.running++
-		go func() {
-			defer v.exit()
-			fn()
-		}()
-	})
-	return &Timer{stop: func() bool {
-		v.mu.Lock()
-		defer v.mu.Unlock()
-		if ev.index < 0 {
-			return false
-		}
-		heap.Remove(&v.events, ev.index)
-		return true
-	}}
+	ev := v.getEventLocked(d, evGo)
+	ev.fn = fn
+	v.events.push(ev)
+	return &Timer{p: Pending{v: v, ev: ev, gen: ev.gen}}
 }
 
-// scheduleLocked enqueues fire to run at now+d. Callers hold v.mu.
-func (v *Virtual) scheduleLocked(d time.Duration, fire func()) *event {
+// Post schedules fn to run inline on the advancing goroutine after d of
+// virtual time, with no goroutine spawned per firing. fn must not block:
+// it may schedule, send to mailboxes, and wake waiters, but anything
+// that parks must go through AfterFunc or Go instead.
+func (v *Virtual) Post(d time.Duration, fn func()) Pending {
+	if d < 0 {
+		d = 0
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	ev := v.getEventLocked(d, evPost)
+	ev.fn = fn
+	v.events.push(ev)
+	return Pending{v: v, ev: ev, gen: ev.gen}
+}
+
+// Post2 is Post for a pre-bound callback: fn(a, b) fires inline after d.
+// With a top-level fn and pointer operands the call site allocates
+// nothing, which is what keeps the packet hot path allocation-free.
+func (v *Virtual) Post2(d time.Duration, fn func(a, b any), a, b any) Pending {
+	if d < 0 {
+		d = 0
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	ev := v.getEventLocked(d, evPost2)
+	ev.fn2, ev.a, ev.b = fn, a, b
+	v.events.push(ev)
+	return Pending{v: v, ev: ev, gen: ev.gen}
+}
+
+// getEventLocked takes an event from the freelist (or allocates one) and
+// stamps it with the firing time and sequence number. Callers hold v.mu
+// and must push it onto the heap.
+func (v *Virtual) getEventLocked(d time.Duration, kind eventKind) *event {
+	var ev *event
+	if n := len(v.free); n > 0 {
+		ev = v.free[n-1]
+		v.free[n-1] = nil
+		v.free = v.free[:n-1]
+	} else {
+		ev = &event{}
+	}
 	v.seq++
-	ev := &event{at: v.now.Add(d), seq: v.seq, fire: fire}
-	heap.Push(&v.events, ev)
+	ev.at = v.now.Add(d)
+	ev.seq = v.seq
+	ev.kind = kind
 	return ev
+}
+
+// putEventLocked recycles a fired or cancelled event. Bumping the
+// generation invalidates any outstanding Pending handle.
+func (v *Virtual) putEventLocked(ev *event) {
+	ev.gen++
+	ev.fn = nil
+	ev.fn2 = nil
+	ev.a, ev.b = nil, nil
+	ev.w = nil
+	v.free = append(v.free, ev)
+}
+
+// stopEvent cancels a scheduled event if its generation still matches.
+func (v *Virtual) stopEvent(ev *event, gen uint64) bool {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if ev.gen != gen || ev.index < 0 {
+		return false
+	}
+	v.events.remove(ev.index)
+	v.putEventLocked(ev)
+	return true
 }
 
 // maybeAdvanceLocked advances virtual time while no goroutine is
 // runnable. Callers hold v.mu.
 func (v *Virtual) maybeAdvanceLocked() {
 	for v.running == 0 && !v.stopped {
-		if v.events.Len() == 0 {
+		if len(v.events) == 0 {
 			// Release the mutex before panicking so deferred cleanup in
 			// callers (e.g. Run) can still acquire it while unwinding.
 			now := v.now
 			v.mu.Unlock()
 			panic(fmt.Sprintf("vclock: deadlock at %s: all goroutines parked and no timers pending", now.Format(time.RFC3339Nano)))
 		}
-		ev := heap.Pop(&v.events).(*event)
+		ev := v.events.pop()
 		if ev.at.After(v.now) {
 			v.now = ev.at
+			v.offNS.Store(int64(v.now.Sub(v.base)))
 		}
-		ev.fire()
+		switch ev.kind {
+		case evWake:
+			w := ev.w
+			v.putEventLocked(ev)
+			v.running++
+			w.ch <- struct{}{}
+		case evGo:
+			fn := ev.fn
+			v.putEventLocked(ev)
+			v.running++
+			go func() {
+				defer v.exit()
+				var sink byte
+				reserveStack(&sink, 0)
+				fn()
+			}()
+		case evPost:
+			fn := ev.fn
+			v.putEventLocked(ev)
+			// The advancing goroutine counts as runnable while it runs
+			// the callback, so a goroutine the callback wakes cannot
+			// start a concurrent advance.
+			v.running++
+			v.mu.Unlock()
+			fn()
+			v.mu.Lock()
+			v.running--
+		case evPost2:
+			fn2, a, b := ev.fn2, ev.a, ev.b
+			v.putEventLocked(ev)
+			v.running++
+			v.mu.Unlock()
+			fn2(a, b)
+			v.mu.Lock()
+			v.running--
+		}
 	}
 }
 
-// newWaiter implements the parking protocol for blocking primitives.
-func (v *Virtual) newWaiter() (wait func(), wake func()) {
-	ch := make(chan struct{}, 1)
-	wait = func() {
-		v.mu.Lock()
-		v.running--
-		v.maybeAdvanceLocked()
-		v.mu.Unlock()
-		<-ch
+// newWaiter returns a pooled waiter implementing the parking protocol
+// for blocking primitives.
+func (v *Virtual) newWaiter() *waiter {
+	if w, ok := v.wpool.Get().(*waiter); ok {
+		return w
 	}
-	wake = func() {
-		v.mu.Lock()
-		v.running++
-		v.mu.Unlock()
-		ch <- struct{}{}
-	}
-	return wait, wake
+	return &waiter{v: v, pool: &v.wpool, ch: make(chan struct{}, 1)}
 }
