@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet check bench bench-scale bench-save bench-sim bench-sim-save bench-sim-guard
+.PHONY: build test race vet check bench bench-scale bench-save bench-sim bench-sim-save bench-sim-guard fastpath-diff
 
 build:
 	$(GO) build ./...
@@ -34,8 +34,10 @@ bench-save:
 
 # bench-sim runs the discrete-event engine microbenchmarks: a full TCP
 # request/response over the emulated network, the 8-client switch fan-in,
-# and the allocation-free steady-state packet hop.
-SIM_BENCHES = BenchmarkRequestResponse|BenchmarkPacketSwitchingFanIn|BenchmarkPacketHop
+# the multi-hop 83 KiB bulk transfer (with its per-hop baseline twin for
+# the fast-path A/B ratio), and the allocation-free steady-state packet
+# hop.
+SIM_BENCHES = BenchmarkRequestResponse|BenchmarkPacketSwitchingFanIn|BenchmarkBulkTransfer|BenchmarkPacketHop
 bench-sim:
 	$(GO) test -bench='$(SIM_BENCHES)' -benchtime=2s -benchmem -run=^$$ ./internal/netem/
 
@@ -45,7 +47,27 @@ bench-sim-save:
 	$(GO) test -bench='$(SIM_BENCHES)' -benchtime=2s -benchmem -run=^$$ ./internal/netem/ | $(GO) run ./cmd/benchsave
 
 # bench-sim-guard is the CI smoke gate: the steady-state packet hop must
-# stay allocation-free. allocs/op is deterministic, so the ceiling holds
-# on shared runners.
+# stay allocation-free, and the fan-in and bulk-transfer datapaths must
+# hold their allocation ceilings (measured 85 and 18 allocs/op, gated
+# with headroom for scheduling variance). allocs/op is deterministic, so
+# the ceilings hold on shared runners.
 bench-sim-guard:
-	$(GO) test -bench='BenchmarkPacketHop' -benchtime=100x -benchmem -run=^$$ ./internal/netem/ | $(GO) run ./cmd/benchguard -bench 'BenchmarkPacketHop$$' -max-allocs 0
+	$(GO) test -bench='BenchmarkPacketHop|BenchmarkPacketSwitchingFanIn|BenchmarkBulkTransfer$$' -benchtime=100x -benchmem -run=^$$ ./internal/netem/ | \
+		$(GO) run ./cmd/benchguard \
+			-gate 'BenchmarkPacketHop$$=0' \
+			-gate 'BenchmarkPacketSwitchingFanIn$$=96' \
+			-gate 'BenchmarkBulkTransfer$$=24'
+
+# fastpath-diff verifies the datapath fast path is invisible: the full
+# experiment suite must be byte-identical with the fast path on and off,
+# sequentially and under parallel replications.
+fastpath-diff:
+	$(GO) build -o /tmp/edgesim-fpdiff ./cmd/edgesim
+	/tmp/edgesim-fpdiff -exp all -n 5 -seed 1 > /tmp/fpdiff-on.txt
+	/tmp/edgesim-fpdiff -exp all -n 5 -seed 1 -no-fastpath > /tmp/fpdiff-off.txt
+	/tmp/edgesim-fpdiff -exp all -n 5 -seed 1 -parallel 4 > /tmp/fpdiff-on-par.txt
+	/tmp/edgesim-fpdiff -exp all -n 5 -seed 1 -no-fastpath -parallel 4 > /tmp/fpdiff-off-par.txt
+	diff /tmp/fpdiff-on.txt /tmp/fpdiff-off.txt
+	diff /tmp/fpdiff-on.txt /tmp/fpdiff-on-par.txt
+	diff /tmp/fpdiff-on.txt /tmp/fpdiff-off-par.txt
+	@echo "fastpath-diff: experiment outputs byte-identical"

@@ -104,6 +104,93 @@ func BenchmarkPacketSwitchingFanIn(b *testing.B) {
 	})
 }
 
+// benchBulkTransfer builds the cloud-traversal bulk topology of the
+// paper: client — RAN — core — transport — peering — cloud edge —
+// server, a five-router chain of rate-less links with propagation
+// delay. The workload mirrors the ResNet request of Table I: one
+// 83 KiB POST in MSS-sized application segments, answered by a short
+// response.
+func benchBulkTransfer(b *testing.B, fastpath bool) {
+	const (
+		mss       = 1448
+		postBytes = 83 * 1024
+		nRouters  = 5
+	)
+	clk := vclock.New()
+	clk.Run(func() {
+		n := NewNetwork(clk, 1)
+		n.SetFastPath(fastpath)
+		client := n.NewHost("client", ParseIP("10.0.0.1"))
+		srv := n.NewHost("srv", ParseIP("10.0.1.1"))
+		var routers []*Router
+		for i := 0; i < nRouters; i++ {
+			routers = append(routers, NewRouter(n, "r"+string(rune('1'+i)), 2))
+		}
+		n.Connect(client.NIC(), routers[0].Port(0), LinkConfig{Latency: 500 * time.Microsecond})
+		for i := 0; i < nRouters-1; i++ {
+			n.Connect(routers[i].Port(1), routers[i+1].Port(0), LinkConfig{Latency: 2 * time.Millisecond})
+		}
+		n.Connect(routers[nRouters-1].Port(1), srv.NIC(), LinkConfig{Latency: 500 * time.Microsecond})
+		for _, r := range routers {
+			r.AddRoute(srv.IP(), r.Port(1))
+			r.AddRoute(client.IP(), r.Port(0))
+		}
+
+		ln, _ := srv.Listen(80)
+		clk.Go(func() {
+			for {
+				c, err := ln.Accept()
+				if err != nil {
+					return
+				}
+				clk.Go(func() {
+					got := 0
+					for got < postBytes {
+						msg, err := c.Recv()
+						if err != nil {
+							return
+						}
+						got += len(msg)
+					}
+					c.Send([]byte("ok"))
+				})
+			}
+		})
+
+		segment := make([]byte, mss)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c, err := client.Dial(srv.Addr(80))
+			if err != nil {
+				b.Fatal(err)
+			}
+			for sent := 0; sent < postBytes; sent += mss {
+				chunk := segment
+				if rest := postBytes - sent; rest < mss {
+					chunk = segment[:rest]
+				}
+				c.Send(chunk)
+			}
+			if _, err := c.Recv(); err != nil {
+				b.Fatal(err)
+			}
+			c.Close()
+		}
+	})
+}
+
+// BenchmarkBulkTransfer measures one multi-hop 83 KiB POST
+// (ResNet-shaped, Table I) with the datapath fast path on: segment
+// trains batch the same-instant sends and compiled flight plans deliver
+// each segment with a single composite event.
+func BenchmarkBulkTransfer(b *testing.B) { benchBulkTransfer(b, true) }
+
+// BenchmarkBulkTransferNoFastPath is the A/B baseline for
+// BenchmarkBulkTransfer with per-hop scheduling; the ratio between the
+// two is the fast path's bulk-transfer gain.
+func BenchmarkBulkTransferNoFastPath(b *testing.B) { benchBulkTransfer(b, false) }
+
 // hopDevice bounces every received packet straight back out its own
 // port, counting deliveries. It exercises the raw packet path — pooled
 // packets, inline link events — with no transport on top.

@@ -1,0 +1,455 @@
+package netem
+
+import (
+	"sync"
+	"time"
+)
+
+// This file implements path-compiled delivery: the first packet between
+// two endpoints records the hop sequence it traverses (links, forwarding
+// devices, rewrites) as a "flight plan"; subsequent packets between the
+// same endpoints replay the plan directly instead of being handed from
+// device to device.
+//
+// The replay is exact, not approximate. A compiled walk steps through
+// the plan accumulating virtual delay; whenever it reaches a link with a
+// serialization rate (Bandwidth > 0) that the packet has not yet arrived
+// at, it posts a single resume event for that link's true transmit
+// instant. Reserving transmitter time at the true instant means
+// cross-traffic sharing the link observes exactly the queue state it
+// would have seen in the uncompiled path — the resume events coincide,
+// instant for instant and scheduling-order for scheduling-order, with
+// the per-hop delivery events the slow path would have created. Maximal
+// runs of rate-less hops, which need no reservations, collapse into one
+// composite delivery event; that is where N heap events become 1.
+//
+// Plans are invalidated by epoch: every forwarding device exposes a
+// PathEpoch that it bumps on any state change affecting forwarding
+// (flow-table mutation, route change). A plan validates all its device
+// epochs before applying side effects, and again at every resume
+// boundary; on mismatch mid-flight the packet is handed back to the
+// normal per-hop path from exactly where it stopped. Paths with lossy
+// links are never compiled: the per-link loss draws must consume the
+// deterministic rng stream in baseline order. Packet capture likewise
+// forces the per-hop path so taps observe every link.
+
+// FieldMask names packet address fields, both as "fields a rewrite
+// sets" and as "fields a forwarding decision examined". Plans are keyed
+// by the union of fields the path's devices examined, so paths that
+// forward on the destination alone are shared across source ports.
+type FieldMask uint8
+
+// Address field bits.
+const (
+	FieldSrcIP FieldMask = 1 << iota
+	FieldSrcPort
+	FieldDstIP
+	FieldDstPort
+)
+
+// Rewrite is a compiled set-field action list: the fields in Fields are
+// overwritten with the corresponding values from Src/Dst.
+type Rewrite struct {
+	Fields   FieldMask
+	Src, Dst HostPort
+}
+
+// Apply overwrites pkt's selected address fields.
+func (rw Rewrite) Apply(pkt *Packet) {
+	if rw.Fields&FieldSrcIP != 0 {
+		pkt.Src.IP = rw.Src.IP
+	}
+	if rw.Fields&FieldSrcPort != 0 {
+		pkt.Src.Port = rw.Src.Port
+	}
+	if rw.Fields&FieldDstIP != 0 {
+		pkt.Dst.IP = rw.Dst.IP
+	}
+	if rw.Fields&FieldDstPort != 0 {
+		pkt.Dst.Port = rw.Dst.Port
+	}
+}
+
+// PathDevice is a forwarding device that supports compiled delivery. It
+// must bump the epoch on every state change that can alter where or how
+// a packet is forwarded.
+type PathDevice interface {
+	PathEpoch() uint64
+}
+
+type stepKind uint8
+
+const (
+	stepLink stepKind = iota
+	stepDevice
+)
+
+// planStep is one hop of a flight plan: either a link traversal (with
+// direction, so per-direction stats and serialization state update
+// correctly) or a forwarding device (epoch to validate, rewrite to
+// replay, optional forwarding delay, optional counter callback).
+type planStep struct {
+	kind  stepKind
+	link  *Link
+	fromA bool
+	dev   PathDevice
+	epoch uint64
+	rw    Rewrite
+	delay time.Duration
+	// touch replays the device's per-packet accounting (flow counters,
+	// idle-timeout refresh) with the packet's arrival instant at the
+	// device.
+	touch func(*Packet, time.Time)
+}
+
+// from returns the port the packet leaves through on a link step.
+func (st *planStep) from() *Port {
+	if st.fromA {
+		return st.link.a
+	}
+	return st.link.b
+}
+
+// flightPlan is a compiled path from one host to another.
+type flightPlan struct {
+	key      planKey
+	mask     FieldMask
+	steps    []planStep
+	destPort *Port // ingress port at the destination device
+}
+
+// valid reports whether every device hop from step i on is still at the
+// epoch it was recorded at.
+func (p *flightPlan) validFrom(i int) bool {
+	for j := i; j < len(p.steps); j++ {
+		st := &p.steps[j]
+		if st.kind == stepDevice && st.dev.PathEpoch() != st.epoch {
+			return false
+		}
+	}
+	return true
+}
+
+// planKey is a (src, dst) endpoint pair projected through the plan's
+// field mask: fields the path never examined are zeroed so one plan
+// serves every flow the path would treat identically.
+type planKey struct {
+	src, dst HostPort
+}
+
+func projectKey(src, dst HostPort, m FieldMask) planKey {
+	var k planKey
+	if m&FieldSrcIP != 0 {
+		k.src.IP = src.IP
+	}
+	if m&FieldSrcPort != 0 {
+		k.src.Port = src.Port
+	}
+	if m&FieldDstIP != 0 {
+		k.dst.IP = dst.IP
+	}
+	if m&FieldDstPort != 0 {
+		k.dst.Port = dst.Port
+	}
+	return k
+}
+
+// maxPlanSteps bounds a recording; paths that do not terminate at a
+// host within the cap (forwarding loops) abort instead of growing.
+const maxPlanSteps = 32
+
+// maxPlansPerHost bounds one host's plan table. Ephemeral ports can
+// appear in plan keys (when a path examines them), so long-running
+// workloads would otherwise accumulate one plan per dead connection;
+// overflowing resets the table and lets live flows re-record.
+const maxPlansPerHost = 1024
+
+// flightRec accumulates the hops of an in-flight first packet. It rides
+// on the packet itself and becomes a plan if and when the packet
+// arrives at the host that owns its destination address.
+type flightRec struct {
+	origin   *Host
+	src, dst HostPort // original endpoints, before any rewrites
+	mask     FieldMask
+	steps    []planStep
+}
+
+var recPool = sync.Pool{New: func() any { return new(flightRec) }}
+
+func (r *flightRec) recycle() {
+	r.origin = nil
+	r.steps = r.steps[:0]
+	recPool.Put(r)
+}
+
+// Recording reports whether this packet is recording a flight plan.
+func (p *Packet) Recording() bool { return p.rec != nil }
+
+// AbortRecording discards the packet's recording; the path cannot be
+// compiled (lossy link, punt to controller, non-replayable action).
+func (p *Packet) AbortRecording() {
+	if p.rec != nil {
+		p.rec.recycle()
+		p.rec = nil
+	}
+}
+
+// RecordHop appends a forwarding-device hop to the packet's recording.
+// examined is the set of address fields the device's decision depended
+// on; rw the rewrite it applied; delay its forwarding delay; touch, if
+// non-nil, replays its per-packet accounting on compiled traversals.
+func (p *Packet) RecordHop(dev PathDevice, epoch uint64, rw Rewrite, examined FieldMask, delay time.Duration, touch func(*Packet, time.Time)) {
+	r := p.rec
+	if r == nil {
+		return
+	}
+	if len(r.steps) >= maxPlanSteps {
+		p.AbortRecording()
+		return
+	}
+	r.mask |= examined
+	r.steps = append(r.steps, planStep{
+		kind:  stepDevice,
+		dev:   dev,
+		epoch: epoch,
+		rw:    rw,
+		delay: delay,
+		touch: touch,
+	})
+}
+
+// recordLink appends a link traversal, or aborts when the link can drop
+// (loss draws must stay on the per-hop path to keep rng order).
+func (p *Packet) recordLink(l *Link, fromA bool) {
+	r := p.rec
+	if l.cfg.LossRate > 0 || len(r.steps) >= maxPlanSteps {
+		p.AbortRecording()
+		return
+	}
+	r.steps = append(r.steps, planStep{kind: stepLink, link: l, fromA: fromA})
+}
+
+// attachRecorder starts recording pkt's path. Called for locally
+// originated packets that found no usable plan.
+func (h *Host) attachRecorder(pkt *Packet) {
+	r := recPool.Get().(*flightRec)
+	r.origin = h
+	r.src, r.dst = pkt.Src, pkt.Dst
+	// The destination address is always part of the key: delivery
+	// itself selects on it even when no device examines anything.
+	r.mask = FieldDstIP
+	pkt.rec = r
+}
+
+// finalizeRecording turns a completed recording into a plan on the
+// origin host. h is the host the packet arrived at.
+func (h *Host) finalizeRecording(r *flightRec) {
+	n := len(r.steps)
+	if n == 0 || r.steps[n-1].kind != stepLink {
+		r.recycle()
+		return
+	}
+	last := &r.steps[n-1]
+	destPort := last.link.b
+	if !last.fromA {
+		destPort = last.link.a
+	}
+	plan := &flightPlan{
+		key:      projectKey(r.src, r.dst, r.mask),
+		mask:     r.mask,
+		steps:    append([]planStep(nil), r.steps...),
+		destPort: destPort,
+	}
+	r.origin.installPlan(plan)
+	r.recycle()
+}
+
+// installPlan stores a compiled plan, replacing any previous plan with
+// the same key.
+func (h *Host) installPlan(p *flightPlan) {
+	h.planMu.Lock()
+	if h.plans == nil {
+		h.plans = make(map[planKey]*flightPlan)
+	}
+	if len(h.plans) >= maxPlansPerHost {
+		clear(h.plans)
+		h.planMasks = h.planMasks[:0]
+	}
+	if prev, ok := h.plans[p.key]; !ok || prev.mask != p.mask {
+		h.addMaskLocked(p.mask)
+	}
+	h.plans[p.key] = p
+	h.planCount.Store(int64(len(h.plans)))
+	h.planMu.Unlock()
+}
+
+// addMaskLocked registers a mask in the ordered probe list, most
+// specific (most bits) first so exact plans win over shared ones.
+func (h *Host) addMaskLocked(m FieldMask) {
+	for _, have := range h.planMasks {
+		if have == m {
+			return
+		}
+	}
+	h.planMasks = append(h.planMasks, m)
+	for i := len(h.planMasks) - 1; i > 0; i-- {
+		a, b := h.planMasks[i-1], h.planMasks[i]
+		if popcount(a) > popcount(b) || (popcount(a) == popcount(b) && a >= b) {
+			break
+		}
+		h.planMasks[i-1], h.planMasks[i] = b, a
+	}
+}
+
+func popcount(m FieldMask) int {
+	c := 0
+	for m != 0 {
+		m &= m - 1
+		c++
+	}
+	return c
+}
+
+// dropPlan removes an invalidated plan. Probe masks are left in place:
+// they are a tiny bounded set and re-deriving them is not worth the
+// bookkeeping.
+func (h *Host) dropPlan(p *flightPlan) {
+	h.planMu.Lock()
+	if h.plans[p.key] == p {
+		delete(h.plans, p.key)
+		h.planCount.Store(int64(len(h.plans)))
+	}
+	h.planMu.Unlock()
+}
+
+// lookupPlan finds a plan covering (src, dst), probing each recorded
+// mask from most to least specific.
+func (h *Host) lookupPlan(src, dst HostPort) *flightPlan {
+	if h.planCount.Load() == 0 {
+		return nil
+	}
+	h.planMu.Lock()
+	for _, m := range h.planMasks {
+		if p, ok := h.plans[projectKey(src, dst, m)]; ok {
+			h.planMu.Unlock()
+			return p
+		}
+	}
+	h.planMu.Unlock()
+	return nil
+}
+
+// tryCompiledSend delivers pkt via a compiled plan. It returns false —
+// leaving pkt untouched — when no valid plan covers the packet or a
+// capture tap needs the per-hop path.
+func (h *Host) tryCompiledSend(pkt *Packet) bool {
+	if h.net.captureActive() {
+		return false
+	}
+	plan := h.lookupPlan(pkt.Src, pkt.Dst)
+	if plan == nil {
+		return false
+	}
+	if !plan.validFrom(0) {
+		h.dropPlan(plan)
+		return false
+	}
+	h.net.walk(pkt, plan, 0)
+	return true
+}
+
+// walkState carries a paused walk across its resume event.
+type walkState struct {
+	net  *Network
+	plan *flightPlan
+	idx  int
+}
+
+var wsPool = sync.Pool{New: func() any { return new(walkState) }}
+
+// resumeWalk is the Post2 callback that continues a walk at a link's
+// transmit instant. It revalidates the remaining hops: if the path
+// changed (or a capture tap appeared) while the packet was in flight,
+// the packet is handed to the normal per-hop path from exactly where it
+// stopped.
+func resumeWalk(a, b any) {
+	pkt := a.(*Packet)
+	ws := b.(*walkState)
+	net, plan, idx := ws.net, ws.plan, ws.idx
+	*ws = walkState{}
+	wsPool.Put(ws)
+	if net.captureActive() || !plan.validFrom(idx) {
+		st := &plan.steps[idx]
+		st.link.transmit(pkt, st.from())
+		return
+	}
+	net.walk(pkt, plan, idx)
+}
+
+// walk executes plan from step idx. Invariant: the virtual now is the
+// instant the packet arrives at the transmitter of the link at idx (or
+// at the device at idx). Device epochs from idx on have been validated
+// at this instant.
+func (n *Network) walk(pkt *Packet, plan *flightPlan, idx int) {
+	var t time.Duration // delay accumulated ahead of now
+	var now time.Time
+	nowSet := false
+	for i := idx; i < len(plan.steps); i++ {
+		st := &plan.steps[i]
+		if st.kind == stepDevice {
+			if st.touch != nil {
+				if !nowSet {
+					now, nowSet = n.Clock.Now(), true
+				}
+				st.touch(pkt, now.Add(t))
+			}
+			st.rw.Apply(pkt)
+			t += st.delay
+			continue
+		}
+		l := st.link
+		if l.cfg.Bandwidth > 0 && t > 0 {
+			// The packet reaches this link's transmitter t from now.
+			// Serialization state must be reserved at that true instant
+			// (cross-traffic arriving meanwhile queues first, exactly as
+			// on the per-hop path), so pause and resume there.
+			ws := wsPool.Get().(*walkState)
+			ws.net, ws.plan, ws.idx = n, plan, i
+			n.Clock.Post2(t, resumeWalk, pkt, ws)
+			return
+		}
+		l.mu.Lock()
+		nextFree := &l.nextFreeB
+		if st.fromA {
+			nextFree = &l.nextFreeA
+			l.sentA++
+		} else {
+			l.sentB++
+		}
+		if l.cfg.Bandwidth > 0 {
+			// t == 0: now is this link's transmit instant.
+			if !nowSet {
+				now, nowSet = n.Clock.Now(), true
+			}
+			start := now
+			if nextFree.After(start) {
+				start = *nextFree
+			}
+			end := start.Add(time.Duration(float64(pkt.WireSize()) / l.cfg.Bandwidth * float64(time.Second)))
+			*nextFree = end
+			t = end.Sub(now) + l.cfg.Latency
+		} else {
+			t += l.cfg.Latency
+		}
+		l.mu.Unlock()
+	}
+	n.Clock.Post2(t, deliverPacket, pkt, plan.destPort)
+}
+
+// SetFastPath enables or disables compiled delivery and the transport's
+// segment trains (enabled by default). Disabling is the -no-fastpath
+// escape hatch used to A/B-verify that outputs are identical.
+func (n *Network) SetFastPath(enabled bool) { n.fastpathOff.Store(!enabled) }
+
+// FastPathEnabled reports whether the datapath fast path is active.
+func (n *Network) FastPathEnabled() bool { return !n.fastpathOff.Load() }

@@ -91,6 +91,9 @@ func (l *Link) transmit(pkt *Packet, from *Port) {
 	if l.net != nil && l.net.captureActive() {
 		l.net.capturePacket(pkt)
 	}
+	if pkt.rec != nil {
+		pkt.recordLink(l, from == l.a)
+	}
 	l.mu.Lock()
 	var nextFree *time.Time
 	var to *Port

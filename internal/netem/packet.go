@@ -71,6 +71,10 @@ type Packet struct {
 	// It is debugging/capture metadata only: forwarding and demux use
 	// the address fields, which rewrites may change.
 	ConnID uint64
+	// rec, when non-nil, accumulates this packet's path as a flight
+	// plan (see fastpath.go). It belongs to this packet alone: clones
+	// never inherit it, and the pool never recycles a live recording.
+	rec *flightRec
 }
 
 // pktPool recycles Packet structs so the steady-state forwarding path
@@ -92,6 +96,10 @@ func NewPacket() *Packet {
 // of indefinitely retained copies (captures, controller-held packets)
 // can simply keep them.
 func (p *Packet) Release() {
+	if p.rec != nil {
+		p.rec.recycle()
+		p.rec = nil
+	}
 	pktPool.Put(p)
 }
 
@@ -103,6 +111,7 @@ func (p *Packet) WireSize() int { return headerOverhead + len(p.Payload) }
 func (p *Packet) Clone() *Packet {
 	q := pktPool.Get().(*Packet)
 	*q = *p
+	q.rec = nil
 	return q
 }
 

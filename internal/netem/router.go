@@ -2,6 +2,7 @@ package netem
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/c3lab/transparentedge/internal/vclock"
@@ -20,8 +21,15 @@ type Router struct {
 	routes   map[IP]*Port
 	fallback *Port
 	// ForwardDelay models lookup/queuing latency per forwarded packet.
+	// Set it before traffic flows: compiled paths capture it.
 	ForwardDelay time.Duration
-	dropped      int64
+
+	// dropped is atomic: stats reporters read it while clock goroutines
+	// forward packets.
+	dropped atomic.Int64
+	// epoch versions the routing state for compiled delivery; any
+	// change that can alter where a packet is forwarded bumps it.
+	epoch atomic.Uint64
 }
 
 // NewRouter returns a router with n ports attached to net's clock.
@@ -43,11 +51,15 @@ func (r *Router) DeviceName() string { return r.name }
 // Port returns the i-th port.
 func (r *Router) Port(i int) *Port { return r.ports[i] }
 
+// PathEpoch implements PathDevice.
+func (r *Router) PathEpoch() uint64 { return r.epoch.Load() }
+
 // AddRoute directs traffic for ip out of the given port.
 func (r *Router) AddRoute(ip IP, out *Port) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.routes[ip] = out
+	r.epoch.Add(1)
 }
 
 // SetDefault directs traffic with no host route out of the given port.
@@ -55,6 +67,7 @@ func (r *Router) SetDefault(out *Port) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.fallback = out
+	r.epoch.Add(1)
 }
 
 // forwardOut is the Post2 callback for delayed forwarding.
@@ -69,13 +82,18 @@ func (r *Router) HandlePacket(pkt *Packet, in *Port) {
 		out = r.fallback
 	}
 	if out == nil || out == in {
-		r.dropped++
 		r.mu.Unlock()
+		r.dropped.Add(1)
 		pkt.Release()
 		return
 	}
 	delay := r.ForwardDelay
 	r.mu.Unlock()
+	if pkt.Recording() {
+		// Routing examined the destination address only, so the
+		// resulting plan is shared across ports and sources.
+		pkt.RecordHop(r, r.epoch.Load(), Rewrite{}, FieldDstIP, delay, nil)
+	}
 	if delay <= 0 {
 		out.Send(pkt)
 		return
@@ -85,7 +103,5 @@ func (r *Router) HandlePacket(pkt *Packet, in *Port) {
 
 // Dropped reports packets without a usable route.
 func (r *Router) Dropped() int64 {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.dropped
+	return r.dropped.Load()
 }
