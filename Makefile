@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet check bench bench-scale bench-save bench-sim bench-sim-save bench-sim-guard fastpath-diff
+.PHONY: build test race vet check bench bench-scale bench-save bench-sim bench-sim-save bench-sim-guard fastpath-diff chaos-check
 
 build:
 	$(GO) build ./...
@@ -71,3 +71,13 @@ fastpath-diff:
 	diff /tmp/fpdiff-on.txt /tmp/fpdiff-on-par.txt
 	diff /tmp/fpdiff-on.txt /tmp/fpdiff-off-par.txt
 	@echo "fastpath-diff: experiment outputs byte-identical"
+
+# chaos-check is the chaos-hardening gate: the full-trace chaos replay
+# must hold its invariants (exit 0) under the race detector's build,
+# and the seeded-random convergence property plus the multi-seed
+# invariant suite must pass with -race.
+chaos-check:
+	$(GO) build -race -o /tmp/edgesim-chaos ./cmd/edgesim
+	/tmp/edgesim-chaos -exp chaos -seed 1
+	$(GO) test -race -run 'TestChaos' ./internal/testbed/
+	@echo "chaos-check: invariants held"

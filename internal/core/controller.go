@@ -100,6 +100,17 @@ type Config struct {
 	// RemoveOnIdle additionally removes the service objects (Remove
 	// phase) after scale-down.
 	RemoveOnIdle bool
+	// ResyncInterval is the anti-entropy reconciliation period: every
+	// interval the controller audits each switch's flow table against
+	// its FlowMemory-derived desired state, re-installing missing rules
+	// and deleting orphans. Zero disables the loop (the default — the
+	// loop only matters when the control channel can lose messages).
+	ResyncInterval time.Duration
+	// HoldTimeout bounds how long a packet-in's held packet may wait on
+	// scheduling and deployment before the request degrades to the
+	// cloud origin (partition-aware request handling). Zero holds
+	// indefinitely, the paper's baseline behaviour.
+	HoldTimeout time.Duration
 	// DisableFlowMemory turns the FlowMemory off (ablation): every
 	// packet-in goes through the full dispatch pipeline.
 	DisableFlowMemory bool
@@ -227,6 +238,22 @@ type Stats struct {
 	// per-(service, zone) candidate snapshot cache vs full gathers.
 	CandidateHits   int64
 	CandidateMisses int64
+	// ResyncRuns counts reconciliation audits (periodic anti-entropy
+	// passes plus full resyncs after switch restarts).
+	ResyncRuns int64
+	// ReinstalledFlows counts flows the reconciler re-installed because
+	// a switch was missing them (lost flow-mods, restarts).
+	ReinstalledFlows int64
+	// OrphanFlowsRemoved counts switch flows the reconciler deleted
+	// because no FlowMemory state justified them.
+	OrphanFlowsRemoved int64
+	// DegradedToCloud counts held requests that gave up waiting on a
+	// deployment (HoldTimeout) or exhausted every candidate and were
+	// answered by the cloud origin instead.
+	DegradedToCloud int64
+	// ChannelDrops sums control-channel messages lost to injected
+	// faults across all managed switches.
+	ChannelDrops int64
 }
 
 // svcTables is the read-mostly service registry. Lookups on the
@@ -361,8 +388,15 @@ func (c *Controller) ClientLocation(ip netem.IP) (ClientLocation, bool) {
 // FlowMemory exposes the controller's flow memory (for inspection).
 func (c *Controller) FlowMemory() *FlowMemory { return c.fm }
 
-// Stats returns a snapshot of the controller counters.
-func (c *Controller) Stats() Stats { return c.stats.snapshot() }
+// Stats returns a snapshot of the controller counters, folding in the
+// control-channel fault counters of every managed switch.
+func (c *Controller) Stats() Stats {
+	s := c.stats.snapshot()
+	for _, sw := range c.switches {
+		s.ChannelDrops += sw.ChannelStats().Total()
+	}
+	return s
+}
 
 // RegisterService registers a service by its public address and lean
 // YAML definition: the definition is annotated, the derived spec
@@ -496,9 +530,14 @@ func (c *Controller) Start() {
 				c.handleFlowRemoved(msg)
 			}
 		})
+		sw := conn.sw
+		c.clk.Go(func() { c.watchSwitch(sw) })
 	}
 	if c.cfg.HealthProbeInterval > 0 {
 		c.clk.Go(c.healthProbeLoop)
+	}
+	if c.cfg.ResyncInterval > 0 {
+		c.clk.Go(c.resyncLoop)
 	}
 }
 

@@ -23,6 +23,11 @@ import (
 // (trackAndClaim) — so the memorized-flow fast path takes at most one
 // shard lock besides the FlowMemory's own.
 func (c *Controller) handlePacketIn(sw *openflow.Switch, pin openflow.PacketIn) {
+	// The switch cloned the punted packet for the controller; release it
+	// exactly once when handling completes. Every exit path is covered:
+	// PacketOut clones synchronously before returning, so nothing
+	// retains pin.Pkt past this frame.
+	defer pin.Pkt.Release()
 	c.stats.packetIns.Add(1)
 	svc, ok := c.ServiceByAddr(pin.Pkt.Dst)
 	if !ok {
@@ -41,7 +46,7 @@ func (c *Controller) handlePacketIn(sw *openflow.Switch, pin openflow.PacketIn) 
 		InPort:   pin.InPort,
 		LastSeen: c.clk.Now(),
 	}) {
-		return // the original held packet will be released later
+		return // a packet-in for this flow is already being handled
 	}
 	defer c.clients.release(key)
 
@@ -56,9 +61,10 @@ func (c *Controller) handlePacketIn(sw *openflow.Switch, pin openflow.PacketIn) 
 		}
 	}
 
-	inst, ok := c.dispatch(sw, svc, client)
+	inst, ok := c.dispatchBounded(sw, svc, client)
 	if !ok {
 		// Deployment failed everywhere: let the cloud origin serve.
+		c.stats.degradedToCloud.Add(1)
 		inst = cluster.Instance{Addr: svc.Addr, Cluster: "origin"}
 	}
 	if !c.cfg.DisableFlowMemory {
@@ -66,6 +72,36 @@ func (c *Controller) handlePacketIn(sw *openflow.Switch, pin openflow.PacketIn) 
 	}
 	c.installRedirect(sw, client, svc, inst)
 	sw.PacketOut(pin.Pkt, pin.InPort, nil)
+}
+
+// dispatchBounded runs dispatch, bounding the time the held packet may
+// wait when HoldTimeout is set. On timeout the request degrades to the
+// cloud origin — the client gets an answer instead of an indefinitely
+// held packet during a partition — while the dispatch keeps running in
+// the background; once it lands on an edge instance, the degraded
+// memory entry is dropped so the next packet-in re-dispatches there.
+func (c *Controller) dispatchBounded(sw *openflow.Switch, svc *Service, client netem.IP) (cluster.Instance, bool) {
+	if c.cfg.HoldTimeout <= 0 {
+		return c.dispatch(sw, svc, client)
+	}
+	var inst cluster.Instance
+	var ok bool
+	done := vclock.NewGate()
+	c.clk.Go(func() {
+		inst, ok = c.dispatch(sw, svc, client)
+		done.Open()
+	})
+	if done.WaitTimeout(c.clk, c.cfg.HoldTimeout) {
+		return inst, ok
+	}
+	c.stats.degradedToCloud.Add(1)
+	c.clk.Go(func() {
+		done.Wait(c.clk)
+		if ok && inst.Addr != svc.Addr {
+			c.fm.Forget(client, svc.Addr)
+		}
+	})
+	return cluster.Instance{Addr: svc.Addr, Cluster: "origin"}, true
 }
 
 // dispatch gathers candidates, consults the Global Scheduler, and
@@ -368,47 +404,59 @@ func (c *Controller) probePort(addr netem.HostPort) bool {
 	return true
 }
 
-// installRedirect programs the ingress switch for (client, service,
+// redirectSpecs builds the flow entries that realize (client, service,
 // instance): a rewrite pair for an edge instance, or a plain forward
-// rule when the instance is the cloud origin itself.
-func (c *Controller) installRedirect(sw *openflow.Switch, client netem.IP, svc *Service, inst cluster.Instance) {
-	c.stats.flowsInstalled.Add(1)
+// rule when the instance is the cloud origin itself. Both the live
+// install path and the reconciler's desired-state computation derive
+// from this one function, so they can never disagree on what a
+// mapping's flows look like.
+func (c *Controller) redirectSpecs(client netem.IP, svc *Service, inst cluster.Instance) []openflow.FlowSpec {
 	if inst.Addr == svc.Addr {
 		// Served by the origin: skip the controller for future packets.
-		sw.InstallFlow(openflow.FlowSpec{
+		return []openflow.FlowSpec{{
 			Priority:    redirectPriority,
 			Match:       openflow.Match{SrcIP: client, DstIP: svc.Addr.IP, DstPort: svc.Addr.Port},
 			Actions:     []openflow.Action{openflow.OutputNormal{}},
 			IdleTimeout: c.cfg.SwitchFlowIdle,
 			Cookie:      svc.cookie,
-		})
-		return
+		}}
 	}
-	// Forward: client → registered address, rewritten to the instance.
-	sw.InstallFlow(openflow.FlowSpec{
-		Priority: redirectPriority,
-		Match:    openflow.Match{SrcIP: client, DstIP: svc.Addr.IP, DstPort: svc.Addr.Port},
-		Actions: []openflow.Action{
-			openflow.SetDstIP{IP: inst.Addr.IP},
-			openflow.SetDstPort{Port: inst.Addr.Port},
-			openflow.OutputNormal{},
+	return []openflow.FlowSpec{
+		// Forward: client → registered address, rewritten to the instance.
+		{
+			Priority: redirectPriority,
+			Match:    openflow.Match{SrcIP: client, DstIP: svc.Addr.IP, DstPort: svc.Addr.Port},
+			Actions: []openflow.Action{
+				openflow.SetDstIP{IP: inst.Addr.IP},
+				openflow.SetDstPort{Port: inst.Addr.Port},
+				openflow.OutputNormal{},
+			},
+			IdleTimeout: c.cfg.SwitchFlowIdle,
+			Cookie:      svc.cookie,
 		},
-		IdleTimeout: c.cfg.SwitchFlowIdle,
-		Cookie:      svc.cookie,
-	})
-	// Reverse: instance → client, rewritten back to the registered
-	// address so the exchange still looks like a cloud access.
-	sw.InstallFlow(openflow.FlowSpec{
-		Priority: redirectPriority,
-		Match:    openflow.Match{SrcIP: inst.Addr.IP, SrcPort: inst.Addr.Port, DstIP: client},
-		Actions: []openflow.Action{
-			openflow.SetSrcIP{IP: svc.Addr.IP},
-			openflow.SetSrcPort{Port: svc.Addr.Port},
-			openflow.OutputNormal{},
+		// Reverse: instance → client, rewritten back to the registered
+		// address so the exchange still looks like a cloud access.
+		{
+			Priority: redirectPriority,
+			Match:    openflow.Match{SrcIP: inst.Addr.IP, SrcPort: inst.Addr.Port, DstIP: client},
+			Actions: []openflow.Action{
+				openflow.SetSrcIP{IP: svc.Addr.IP},
+				openflow.SetSrcPort{Port: svc.Addr.Port},
+				openflow.OutputNormal{},
+			},
+			IdleTimeout: c.cfg.SwitchFlowIdle,
+			Cookie:      svc.cookie,
 		},
-		IdleTimeout: c.cfg.SwitchFlowIdle,
-		Cookie:      svc.cookie,
-	})
+	}
+}
+
+// installRedirect programs the ingress switch for (client, service,
+// instance).
+func (c *Controller) installRedirect(sw *openflow.Switch, client netem.IP, svc *Service, inst cluster.Instance) {
+	c.stats.flowsInstalled.Add(1)
+	for _, spec := range c.redirectSpecs(client, svc, inst) {
+		sw.InstallFlow(spec)
+	}
 }
 
 // PreDeploy proactively deploys a service on a named cluster (the

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/c3lab/transparentedge/internal/cluster"
+	"github.com/c3lab/transparentedge/internal/netem"
+	"github.com/c3lab/transparentedge/internal/openflow"
+	"github.com/c3lab/transparentedge/internal/vclock"
+)
+
+// TestHeldPacketsReleasedOnDeployAbort audits the held-packet
+// lifecycle on the abort paths: every deployment here fails, so each
+// punted packet rides dispatch → failure → cloud fallback → PacketOut,
+// with duplicate packet-ins for in-flight flows exercising the dedup
+// early-return. The pool population must come back to its starting
+// level — each held packet released exactly once, no matter which exit
+// the handler took.
+func TestHeldPacketsReleasedOnDeployAbort(t *testing.T) {
+	clk := vclock.New()
+	clk.Run(func() {
+		near := &stubCluster{name: "near", loc: cluster.Location{Latency: time.Millisecond},
+			pullDelay: time.Second, failPulls: 100, failCreates: 100, failScales: 100}
+		rig := newResilienceRig(t, clk, func(cfg *Config) {
+			cfg.RetryMax = 1
+		}, near)
+		before := netem.LivePackets()
+
+		mkPin := func(client int) openflow.PacketIn {
+			pkt := netem.NewPacket()
+			pkt.Src = netem.ParseHostPort(fmt.Sprintf("192.168.1.%d:43000", 10+client))
+			pkt.Dst = rig.svc.Addr
+			pkt.Flags = netem.FlagSYN
+			return openflow.PacketIn{Pkt: pkt, InPort: 1}
+		}
+		var g vclock.Group
+		for i := 0; i < 8; i++ {
+			i := i
+			g.Go(clk, func() { rig.ctrl.handlePacketIn(rig.sw, mkPin(i%4)) })
+			g.Go(clk, func() {
+				// Mid-deployment retransmission of the same flow: the dedup
+				// path must release its copy too.
+				clk.Sleep(200 * time.Millisecond)
+				rig.ctrl.handlePacketIn(rig.sw, mkPin(i%4))
+			})
+		}
+		g.Wait(clk)
+		clk.Sleep(5 * time.Second) // drain re-injected clones
+
+		if leaked := netem.LivePackets() - before; leaked != 0 {
+			t.Errorf("%d packets leaked across deploy-abort handling", leaked)
+		}
+		s := rig.ctrl.Stats()
+		if s.DeployFailures == 0 {
+			t.Error("no deployment ever failed; the abort path was not exercised")
+		}
+		if s.DegradedToCloud == 0 {
+			t.Error("failed deployments never degraded to the cloud path")
+		}
+		if s.PacketIns < 16 {
+			t.Errorf("PacketIns = %d, want 16", s.PacketIns)
+		}
+	})
+}
+
+// TestHoldTimeoutDegradesAndForgets exercises the partition-aware
+// hold: a deployment slower than HoldTimeout must not pin the request
+// — the handler falls back to the cloud path (releasing the held
+// packet), and once the late deployment lands, the degraded
+// client→origin mapping is forgotten so the next packet-in gets the
+// edge instance.
+func TestHoldTimeoutDegradesAndForgets(t *testing.T) {
+	clk := vclock.New()
+	clk.Run(func() {
+		near := &stubCluster{name: "near", loc: cluster.Location{Latency: time.Millisecond},
+			pullDelay: 5 * time.Second}
+		rig := newResilienceRig(t, clk, func(cfg *Config) {
+			cfg.HoldTimeout = time.Second
+			cfg.MemoryIdle = time.Hour
+		}, near)
+		client := netem.ParseHostPort("192.168.1.10:43000")
+		before := netem.LivePackets()
+
+		pkt := netem.NewPacket()
+		pkt.Src = client
+		pkt.Dst = rig.svc.Addr
+		pkt.Flags = netem.FlagSYN
+		start := clk.Now()
+		rig.ctrl.handlePacketIn(rig.sw, openflow.PacketIn{Pkt: pkt, InPort: 1})
+
+		if elapsed := clk.Since(start); elapsed >= 5*time.Second {
+			t.Errorf("handler held the packet %v; HoldTimeout did not bound it", elapsed)
+		}
+		if s := rig.ctrl.Stats(); s.DegradedToCloud != 1 {
+			t.Errorf("DegradedToCloud = %d, want 1", s.DegradedToCloud)
+		}
+		if leaked := netem.LivePackets() - before; leaked != 0 {
+			t.Errorf("%d packets leaked on the degrade path", leaked)
+		}
+
+		// The degraded mapping points at the origin; the late-success
+		// monitor must drop it once the edge instance is up.
+		if inst, ok := rig.ctrl.FlowMemory().Lookup(client.IP, rig.svc.Addr); !ok || inst.Cluster != "origin" {
+			t.Fatalf("memorized instance = %+v, %v; want the origin fallback", inst, ok)
+		}
+		clk.Sleep(10 * time.Second)
+		if inst, ok := rig.ctrl.FlowMemory().Lookup(client.IP, rig.svc.Addr); ok {
+			t.Errorf("degraded mapping still memorized after late deploy success: %+v", inst)
+		}
+	})
+}

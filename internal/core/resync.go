@@ -1,0 +1,204 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/c3lab/transparentedge/internal/openflow"
+)
+
+// This file implements the controller's anti-entropy reconciliation:
+// the switch's flow table is treated as a cache of the controller's
+// desired state (punt rules for every registered service, redirect
+// pairs for every memorized flow whose client sits behind the switch),
+// and a periodic audit repairs divergence in both directions. Lost
+// flow-mods leave the switch missing rules the controller believes in
+// — the audit re-installs them. Lost FlowRemoved messages (or explicit
+// forgets that raced a fault window) leave the switch holding rules no
+// memory justifies — the audit deletes the orphans. Switch restarts
+// wipe the whole table at once — the event watcher rebuilds it with
+// one reliable ResyncFrom instead of per-rule repair.
+//
+// Detection rides the fallible channel (the flow-stats snapshot), but
+// the repairs themselves go down as one barriered ApplyBundle — the
+// OpenFlow BUNDLE commit idiom — so a repair never itself needs
+// repairing and repair traffic does not perturb the per-message loss
+// streams of the fault model. Convergence therefore needs only that
+// the fault window ends: after the last fault, one audit makes the
+// table equal to the desired state.
+
+// flowIdent identifies one desired or installed flow for set
+// comparison: priority, match, and the rendered action list. Timeouts
+// and cookies are derived from the same spec constructors on both
+// sides, so they never diverge independently.
+func flowIdent(spec openflow.FlowSpec) string {
+	return fmt.Sprintf("%d|%s|%v", spec.Priority, spec.Match, spec.Actions)
+}
+
+// desiredFlows computes the complete flow table switch sw should hold,
+// in deterministic order: punt rules for every registered service
+// (cookie order), then redirect pairs for every memorized flow whose
+// client last entered through sw (flow-key order). With the FlowMemory
+// disabled, redirects are not derivable and only punt rules are
+// reconciled.
+func (c *Controller) desiredFlows(sw *openflow.Switch) []openflow.FlowSpec {
+	tables := c.svc.Load()
+	svcs := make([]*Service, 0, len(tables.byCookie))
+	for _, svc := range tables.byCookie {
+		svcs = append(svcs, svc)
+	}
+	sort.Slice(svcs, func(i, j int) bool { return svcs[i].cookie < svcs[j].cookie })
+	specs := make([]openflow.FlowSpec, 0, len(svcs))
+	for _, svc := range svcs {
+		specs = append(specs, openflow.FlowSpec{
+			Priority: puntPriority,
+			Match:    openflow.Match{DstIP: svc.Addr.IP, DstPort: svc.Addr.Port},
+			Actions:  []openflow.Action{openflow.OutputController{}},
+			Cookie:   svc.cookie,
+		})
+	}
+	if c.cfg.DisableFlowMemory {
+		return specs
+	}
+	entries := c.fm.Entries()
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].Client != entries[j].Client {
+			return entries[i].Client < entries[j].Client
+		}
+		if entries[i].Service.IP != entries[j].Service.IP {
+			return entries[i].Service.IP < entries[j].Service.IP
+		}
+		return entries[i].Service.Port < entries[j].Service.Port
+	})
+	swName := sw.DeviceName()
+	for _, e := range entries {
+		loc, ok := c.clients.location(e.Client)
+		if !ok || loc.Switch != swName {
+			continue
+		}
+		svc, ok := tables.services[e.Service]
+		if !ok {
+			continue
+		}
+		specs = append(specs, c.redirectSpecs(e.Client, svc, e.Instance)...)
+	}
+	return specs
+}
+
+// auditSwitch runs one reconciliation pass against sw: orphans are
+// deleted first (this also clears stale-action entries for a match the
+// memory now maps elsewhere), then missing rules are re-installed.
+//
+// The live table is snapshotted before the desired state. Any flow
+// installed concurrently between the two snapshots therefore shows up
+// in desired but not in the snapshot and is installed a second time —
+// a benign duplicate (identical match, priority, and actions) that
+// classification treats as one rule — never as a false orphan: a
+// flow's memory entry exists before the flow is installed, so every
+// flow in the early snapshot has its justification visible to the late
+// snapshot, and everything the audit deletes is genuinely unjustified.
+func (c *Controller) auditSwitch(sw *openflow.Switch) {
+	c.stats.resyncRuns.Add(1)
+	actual := sw.FlowTable()
+	desired := c.desiredFlows(sw)
+	have := make(map[string]struct{}, len(actual))
+	for _, spec := range actual {
+		have[flowIdent(spec)] = struct{}{}
+	}
+	want := make(map[string]struct{}, len(desired))
+	for _, spec := range desired {
+		want[flowIdent(spec)] = struct{}{}
+	}
+	var deletes, installs []openflow.FlowSpec
+	for _, spec := range actual {
+		if _, ok := want[flowIdent(spec)]; ok {
+			continue
+		}
+		if c.cfg.DisableFlowMemory && spec.Priority != puntPriority {
+			// Redirects are not derivable without the memory: leave them
+			// to their idle timeouts.
+			continue
+		}
+		deletes = append(deletes, spec)
+	}
+	for _, spec := range desired {
+		if _, ok := have[flowIdent(spec)]; ok {
+			continue
+		}
+		installs = append(installs, spec)
+	}
+	if len(deletes) == 0 && len(installs) == 0 {
+		return
+	}
+	deleted := sw.ApplyBundle(deletes, installs)
+	c.stats.orphanFlows.Add(int64(deleted))
+	c.stats.reinstalledFlows.Add(int64(len(installs)))
+}
+
+// AuditDiff reports how many flows differ between sw's live table and
+// the controller's desired state — the symmetric set difference, with
+// identical duplicates collapsing — without repairing anything. Tests
+// use it to assert post-chaos convergence.
+func (c *Controller) AuditDiff(sw *openflow.Switch) int {
+	actual := sw.FlowTable()
+	desired := c.desiredFlows(sw)
+	have := make(map[string]struct{}, len(actual))
+	for _, spec := range actual {
+		have[flowIdent(spec)] = struct{}{}
+	}
+	want := make(map[string]struct{}, len(desired))
+	for _, spec := range desired {
+		want[flowIdent(spec)] = struct{}{}
+	}
+	diff := 0
+	for id := range have {
+		if _, ok := want[id]; !ok {
+			diff++
+		}
+	}
+	for id := range want {
+		if _, ok := have[id]; !ok {
+			diff++
+		}
+	}
+	return diff
+}
+
+// ResyncNow audits every managed switch once, immediately.
+func (c *Controller) ResyncNow() {
+	for _, sw := range c.switches {
+		c.auditSwitch(sw)
+	}
+}
+
+// resyncLoop is the periodic anti-entropy driver.
+func (c *Controller) resyncLoop() {
+	for {
+		c.clk.Sleep(c.cfg.ResyncInterval)
+		c.ResyncNow()
+	}
+}
+
+// watchSwitch reacts to switch lifecycle events: a restart wiped the
+// flow table, so the whole desired state is pushed back in one
+// reliable resync instead of waiting for per-rule audits.
+func (c *Controller) watchSwitch(sw *openflow.Switch) {
+	events := sw.Events()
+	for {
+		ev, ok := events.Recv()
+		if !ok {
+			return
+		}
+		if ev.Restarted {
+			c.resyncFromScratch(sw)
+		}
+	}
+}
+
+// resyncFromScratch rebuilds a restarted switch's entire table.
+func (c *Controller) resyncFromScratch(sw *openflow.Switch) {
+	c.stats.resyncRuns.Add(1)
+	specs := c.desiredFlows(sw)
+	sw.ResyncFrom(specs)
+	c.stats.reinstalledFlows.Add(int64(len(specs)))
+}

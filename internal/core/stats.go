@@ -30,6 +30,10 @@ type statCounters struct {
 	healthEvictions   atomic.Int64
 	candidateHits     atomic.Int64
 	candidateMisses   atomic.Int64
+	resyncRuns        atomic.Int64
+	reinstalledFlows  atomic.Int64
+	orphanFlows       atomic.Int64
+	degradedToCloud   atomic.Int64
 }
 
 // snapshot assembles the public Stats view from the atomic counters.
@@ -54,8 +58,12 @@ func (sc *statCounters) snapshot() Stats {
 		Failovers:         sc.failovers.Load(),
 		BreakerTrips:      sc.breakerTrips.Load(),
 		BreakerRecoveries: sc.breakerRecoveries.Load(),
-		HealthEvictions:   sc.healthEvictions.Load(),
-		CandidateHits:     sc.candidateHits.Load(),
-		CandidateMisses:   sc.candidateMisses.Load(),
+		HealthEvictions:    sc.healthEvictions.Load(),
+		CandidateHits:      sc.candidateHits.Load(),
+		CandidateMisses:    sc.candidateMisses.Load(),
+		ResyncRuns:         sc.resyncRuns.Load(),
+		ReinstalledFlows:   sc.reinstalledFlows.Load(),
+		OrphanFlowsRemoved: sc.orphanFlows.Load(),
+		DegradedToCloud:    sc.degradedToCloud.Load(),
 	}
 }

@@ -119,12 +119,21 @@ type flightPlan struct {
 }
 
 // valid reports whether every device hop from step i on is still at the
-// epoch it was recorded at.
+// epoch it was recorded at and every link hop is still up. Links have
+// no epoch — down state is checked directly — so a link that flaps
+// down and back up between validations never falsely kills a plan.
 func (p *flightPlan) validFrom(i int) bool {
 	for j := i; j < len(p.steps); j++ {
 		st := &p.steps[j]
-		if st.kind == stepDevice && st.dev.PathEpoch() != st.epoch {
-			return false
+		switch st.kind {
+		case stepDevice:
+			if st.dev.PathEpoch() != st.epoch {
+				return false
+			}
+		case stepLink:
+			if st.link.IsDown() {
+				return false
+			}
 		}
 	}
 	return true

@@ -2,6 +2,7 @@ package netem
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/c3lab/transparentedge/internal/vclock"
@@ -64,6 +65,11 @@ type Link struct {
 	a   *Port
 	b   *Port
 
+	// down marks the link administratively/physically dead: every packet
+	// offered while set is dropped. Atomic so the fast-path validator can
+	// check it without taking mu.
+	down atomic.Bool
+
 	mu sync.Mutex
 	// nextFree tracks, per transmit direction, when the transmitter
 	// finishes serializing the previous packet.
@@ -71,10 +77,21 @@ type Link struct {
 	nextFreeB time.Time // for packets leaving b
 
 	// stats: sent counts every packet offered to the direction
-	// (pre-loss); drop counts the subset the link lost.
+	// (pre-loss); drop counts the subset the link lost. downDrops is the
+	// subset of drops caused by the link being down.
 	sentA, sentB int64
 	dropA, dropB int64
+	downDrops    int64
 }
+
+// SetDown marks the link down (true) or up (false). While down, every
+// packet offered to either direction is dropped. In-flight packets that
+// already left the transmitter still arrive: SetDown cuts the cable, it
+// does not vaporize propagating signals.
+func (l *Link) SetDown(down bool) { l.down.Store(down) }
+
+// IsDown reports whether the link is currently down.
+func (l *Link) IsDown() bool { return l.down.Load() }
 
 // deliverPacket hands an arriving packet to the receiving device. It is
 // a top-level Post2 callback so scheduling a delivery allocates nothing.
@@ -103,6 +120,17 @@ func (l *Link) transmit(pkt *Packet, from *Port) {
 	} else {
 		nextFree, to = &l.nextFreeB, l.a
 		l.sentB++
+	}
+	if l.down.Load() {
+		if from == l.a {
+			l.dropA++
+		} else {
+			l.dropB++
+		}
+		l.downDrops++
+		l.mu.Unlock()
+		pkt.Release()
+		return
 	}
 	if l.cfg.LossRate > 0 && l.rng.Float64() < l.cfg.LossRate {
 		if from == l.a {
@@ -138,6 +166,9 @@ func (l *Link) transmit(pkt *Packet, from *Port) {
 type LinkStats struct {
 	SentAB, DroppedAB, DeliveredAB int64 // packets leaving port a
 	SentBA, DroppedBA, DeliveredBA int64 // packets leaving port b
+	// DownDrops is the subset of drops (both directions) caused by the
+	// link being down rather than random loss.
+	DownDrops int64
 }
 
 // Stats reports packets offered, dropped, and delivered in each
@@ -148,5 +179,6 @@ func (l *Link) Stats() LinkStats {
 	return LinkStats{
 		SentAB: l.sentA, DroppedAB: l.dropA, DeliveredAB: l.sentA - l.dropA,
 		SentBA: l.sentB, DroppedBA: l.dropB, DeliveredBA: l.sentB - l.dropB,
+		DownDrops: l.downDrops,
 	}
 }

@@ -3,6 +3,7 @@ package netem
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // TCPFlags carries the subset of TCP control bits the emulation models.
@@ -83,10 +84,22 @@ type Packet struct {
 // keeps the slice).
 var pktPool = sync.Pool{New: func() any { return new(Packet) }}
 
+// livePackets counts packets taken from the pool and not yet released.
+// Chaos invariant checks compare it before and after a run to prove the
+// system does not accumulate held packets.
+var livePackets atomic.Int64
+
+// LivePackets reports the number of pooled packets currently checked
+// out (allocated or cloned and not yet released). Holders that rely on
+// the GC fallback instead of calling Release keep the count elevated,
+// which is exactly what the leak checks are looking for.
+func LivePackets() int64 { return livePackets.Load() }
+
 // NewPacket returns a zeroed packet from the pool. The caller owns it.
 func NewPacket() *Packet {
 	p := pktPool.Get().(*Packet)
 	*p = Packet{}
+	livePackets.Add(1)
 	return p
 }
 
@@ -100,6 +113,7 @@ func (p *Packet) Release() {
 		p.rec.recycle()
 		p.rec = nil
 	}
+	livePackets.Add(-1)
 	pktPool.Put(p)
 }
 
@@ -112,6 +126,7 @@ func (p *Packet) Clone() *Packet {
 	q := pktPool.Get().(*Packet)
 	*q = *p
 	q.rec = nil
+	livePackets.Add(1)
 	return q
 }
 

@@ -30,6 +30,9 @@ type Router struct {
 	// epoch versions the routing state for compiled delivery; any
 	// change that can alter where a packet is forwarded bumps it.
 	epoch atomic.Uint64
+	// down marks the router crashed: every packet handed to it is
+	// dropped until Restart.
+	down atomic.Bool
 }
 
 // NewRouter returns a router with n ports attached to net's clock.
@@ -70,12 +73,39 @@ func (r *Router) SetDefault(out *Port) {
 	r.epoch.Add(1)
 }
 
+// Crash takes the router down: until Restart every packet handed to it
+// is dropped. The epoch bump invalidates compiled flight plans that
+// would otherwise tunnel packets through the dead device. Static routes
+// survive the crash (the modelled failure is power/forwarding-plane
+// loss, not configuration loss).
+func (r *Router) Crash() {
+	if !r.down.Swap(true) {
+		r.epoch.Add(1)
+	}
+}
+
+// Restart brings a crashed router back. The epoch bump forces compiled
+// plans recorded against the crashed state to revalidate.
+func (r *Router) Restart() {
+	if r.down.Swap(false) {
+		r.epoch.Add(1)
+	}
+}
+
+// IsDown reports whether the router is currently crashed.
+func (r *Router) IsDown() bool { return r.down.Load() }
+
 // forwardOut is the Post2 callback for delayed forwarding.
 func forwardOut(a, b any) { b.(*Port).Send(a.(*Packet)) }
 
 // HandlePacket implements Device: the router owns pkt and forwards it
 // out the routed port (ownership passes on) or recycles it on drop.
 func (r *Router) HandlePacket(pkt *Packet, in *Port) {
+	if r.down.Load() {
+		r.dropped.Add(1)
+		pkt.Release()
+		return
+	}
 	r.mu.Lock()
 	out := r.routes[pkt.Dst.IP]
 	if out == nil {

@@ -1,0 +1,131 @@
+package openflow
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"time"
+
+	"github.com/c3lab/transparentedge/internal/vclock"
+)
+
+// ChannelFaults is a seeded fault model for one switch's control
+// channel: packet-in, flow-mod, flow-removed, and packet-out messages
+// are independently lost or delayed. Loss and delay draws come from a
+// per-message-key RNG stream (keyed by the flow or match the message
+// concerns), so the outcome for any given message is a pure function of
+// the seed and that message's position in its own stream — goroutine
+// interleaving between unrelated flows cannot perturb the draws, which
+// keeps chaos runs reproducible.
+//
+// A nil *ChannelFaults (the default) means a perfect channel; the
+// switch's fast paths check a single atomic pointer, so the model costs
+// nothing when disabled.
+type ChannelFaults struct {
+	// Seed derives every per-key RNG stream.
+	Seed int64
+	// PacketInLoss drops punted packets on their way to the controller.
+	PacketInLoss float64
+	// FlowModLoss drops flow-mod messages (install and delete): the
+	// switch never sees them, the controller believes they applied.
+	FlowModLoss float64
+	// FlowRemovedLoss drops eviction notifications, leaving the
+	// controller's FlowMemory believing a flow still exists.
+	FlowRemovedLoss float64
+	// PacketOutLoss drops re-injected held packets.
+	PacketOutLoss float64
+	// ReorderRate delays a message by ExtraDelay with this probability,
+	// letting later messages overtake it.
+	ReorderRate float64
+	// ExtraDelay is the added control-channel delay for reordered
+	// messages.
+	ExtraDelay time.Duration
+
+	mu   sync.Mutex
+	rngs map[string]*vclock.Rand
+}
+
+// rng returns the deterministic stream for one message key, creating it
+// on first use from the plan seed and the key.
+func (f *ChannelFaults) rng(key string) *vclock.Rand {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.rngs == nil {
+		f.rngs = make(map[string]*vclock.Rand)
+	}
+	r, ok := f.rngs[key]
+	if !ok {
+		h := fnv.New64a()
+		fmt.Fprintf(h, "%d/%s", f.Seed, key)
+		r = vclock.NewRand(int64(h.Sum64() >> 1))
+		f.rngs[key] = r
+	}
+	return r
+}
+
+// drop draws the loss decision for one message.
+func (f *ChannelFaults) drop(key string, p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	return f.rng(key).Float64() < p
+}
+
+// delay draws the reorder decision for one message: ExtraDelay when the
+// message is reordered, zero otherwise.
+func (f *ChannelFaults) delay(key string) time.Duration {
+	if f.ReorderRate <= 0 || f.ExtraDelay <= 0 {
+		return 0
+	}
+	if f.rng(key).Float64() < f.ReorderRate {
+		return f.ExtraDelay
+	}
+	return 0
+}
+
+// ChannelStats counts control-channel faults a switch has suffered.
+// The counters live on the switch (not the fault plan), so they survive
+// the fault window being cleared.
+type ChannelStats struct {
+	PacketInDrops    int64
+	FlowModDrops     int64
+	FlowRemovedDrops int64
+	PacketOutDrops   int64
+	Delayed          int64
+}
+
+// Total sums every dropped-message counter.
+func (c ChannelStats) Total() int64 {
+	return c.PacketInDrops + c.FlowModDrops + c.FlowRemovedDrops + c.PacketOutDrops
+}
+
+// SwitchEvent notifies the controller of a datapath lifecycle change.
+type SwitchEvent struct {
+	// Restarted reports the switch rebooted and lost its flow table.
+	Restarted bool
+	// At is the virtual instant of the event (before channel latency).
+	At time.Time
+}
+
+// SetChannelFaults installs (or, with nil, removes) the control-channel
+// fault model. Safe to call mid-run from a clock callback.
+func (s *Switch) SetChannelFaults(f *ChannelFaults) {
+	s.faults.Store(f)
+}
+
+// ChannelStats reports cumulative control-channel fault counters.
+func (s *Switch) ChannelStats() ChannelStats {
+	return ChannelStats{
+		PacketInDrops:    s.pktInDrops.Load(),
+		FlowModDrops:     s.flowModDrops.Load(),
+		FlowRemovedDrops: s.flowRemDrops.Load(),
+		PacketOutDrops:   s.pktOutDrops.Load(),
+		Delayed:          s.ctrlDelayed.Load(),
+	}
+}
+
+// Events returns the lifecycle event mailbox. The controller watches it
+// to learn about switch restarts.
+func (s *Switch) Events() *vclock.Mailbox[SwitchEvent] {
+	return s.events
+}

@@ -256,6 +256,19 @@ type Switch struct {
 	punted  int64
 	dropped int64
 	normal  int64
+
+	// faults, when non-nil, injects loss/delay into the control channel
+	// (see channel.go). Atomic so the datapath checks it without mu.
+	faults atomic.Pointer[ChannelFaults]
+	// events carries lifecycle notifications (restarts) to the
+	// controller.
+	events *vclock.Mailbox[SwitchEvent]
+	// control-channel fault counters (see ChannelStats).
+	pktInDrops   atomic.Int64
+	flowModDrops atomic.Int64
+	flowRemDrops atomic.Int64
+	pktOutDrops  atomic.Int64
+	ctrlDelayed  atomic.Int64
 }
 
 // microKey is the exact-match cache key: ingress port plus the full
@@ -292,6 +305,7 @@ func NewSwitch(net *netem.Network, name string, n int) *Switch {
 		microOn:     true,
 		packetIns:   vclock.NewMailbox[PacketIn](net.Clock),
 		removals:    vclock.NewMailbox[FlowRemoved](net.Clock),
+		events:      vclock.NewMailbox[SwitchEvent](net.Clock),
 	}
 	for i := 1; i <= n; i++ {
 		s.ports = append(s.ports, &netem.Port{Dev: s, ID: i})
@@ -592,31 +606,71 @@ func (s *Switch) puntToController(pkt *netem.Packet, inPort int) {
 	if !connected {
 		return
 	}
-	// The controller keeps the punted copy indefinitely (held packets),
-	// so it gets its own clone and never releases it.
+	delay := s.CtrlLatency
+	if f := s.faults.Load(); f != nil {
+		key := "pktin/" + pkt.Src.String() + ">" + pkt.Dst.String()
+		if f.drop(key, f.PacketInLoss) {
+			s.pktInDrops.Add(1)
+			return
+		}
+		if extra := f.delay(key); extra > 0 {
+			s.ctrlDelayed.Add(1)
+			delay += extra
+		}
+	}
+	// The controller holds the punted copy while it deploys, so it gets
+	// its own clone; the controller releases it when done with it.
 	cp := pkt.Clone()
-	s.clk.Post(s.CtrlLatency, func() {
+	s.clk.Post(delay, func() {
 		s.packetIns.Send(PacketIn{Pkt: cp, InPort: inPort})
 	})
 }
 
 // InstallFlow adds a flow entry (FlowMod ADD). The call models the
-// control-channel latency before the entry becomes active.
+// control-channel latency before the entry becomes active. Under
+// channel faults the message may be silently lost: the switch never
+// installs the entry and the caller is not told — reconciliation is
+// what repairs the divergence.
 func (s *Switch) InstallFlow(spec FlowSpec) {
-	s.clk.Sleep(s.CtrlLatency)
+	delay := s.CtrlLatency
+	if f := s.faults.Load(); f != nil {
+		key := "mod/" + spec.Match.String()
+		if f.drop(key, f.FlowModLoss) {
+			s.flowModDrops.Add(1)
+			s.clk.Sleep(delay)
+			return
+		}
+		if extra := f.delay(key); extra > 0 {
+			s.ctrlDelayed.Add(1)
+			delay += extra
+		}
+	}
+	s.clk.Sleep(delay)
 	s.mu.Lock()
+	e := s.installLocked(spec)
+	s.mu.Unlock()
+	s.armTimers(e)
+}
+
+// installLocked appends one entry to the table and classifier index.
+// Callers hold s.mu and arm the entry's timers after unlocking.
+func (s *Switch) installLocked(spec FlowSpec) *flowEntry {
 	s.seq++
 	e := &flowEntry{FlowSpec: spec, seq: s.seq, lastUsed: s.clk.Now()}
 	s.table = append(s.table, e)
 	s.index[spec.Match] = append(s.index[spec.Match], e)
 	s.sigCount[spec.Match.signature()]++
 	s.epoch.Add(1)
-	s.mu.Unlock()
-	if spec.IdleTimeout > 0 {
-		s.scheduleIdleCheck(e, spec.IdleTimeout)
+	return e
+}
+
+// armTimers starts an entry's idle and hard eviction timers.
+func (s *Switch) armTimers(e *flowEntry) {
+	if e.IdleTimeout > 0 {
+		s.scheduleIdleCheck(e, e.IdleTimeout)
 	}
-	if spec.HardTimeout > 0 {
-		s.clk.Post(spec.HardTimeout, func() {
+	if e.HardTimeout > 0 {
+		s.clk.Post(e.HardTimeout, func() {
 			s.evict(e, false)
 		})
 	}
@@ -656,8 +710,20 @@ func (s *Switch) evict(e *flowEntry, idle bool) {
 	connected := s.connected
 	s.mu.Unlock()
 	if connected {
+		delay := s.CtrlLatency
+		if f := s.faults.Load(); f != nil {
+			key := "rem/" + e.Match.String()
+			if f.drop(key, f.FlowRemovedLoss) {
+				s.flowRemDrops.Add(1)
+				return
+			}
+			if extra := f.delay(key); extra > 0 {
+				s.ctrlDelayed.Add(1)
+				delay += extra
+			}
+		}
 		msg := FlowRemoved{Match: e.Match, Cookie: e.Cookie, IdleTimeout: idle}
-		s.clk.Post(s.CtrlLatency, func() {
+		s.clk.Post(delay, func() {
 			s.removals.Send(msg)
 		})
 	}
@@ -666,7 +732,20 @@ func (s *Switch) evict(e *flowEntry, idle bool) {
 // DeleteFlows removes all entries with the given cookie (FlowMod
 // DELETE); no FlowRemoved is generated for explicit deletion.
 func (s *Switch) DeleteFlows(cookie uint64) int {
-	s.clk.Sleep(s.CtrlLatency)
+	delay := s.CtrlLatency
+	if f := s.faults.Load(); f != nil {
+		key := fmt.Sprintf("del/%d", cookie)
+		if f.drop(key, f.FlowModLoss) {
+			s.flowModDrops.Add(1)
+			s.clk.Sleep(delay)
+			return 0
+		}
+		if extra := f.delay(key); extra > 0 {
+			s.ctrlDelayed.Add(1)
+			delay += extra
+		}
+	}
+	s.clk.Sleep(delay)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	kept := s.table[:0]
@@ -739,10 +818,177 @@ func (s *Switch) compactLocked() {
 	s.removedCount = 0
 }
 
+// DeleteExact removes the single live entry with exactly this match
+// and priority (FlowMod DELETE_STRICT); no FlowRemoved is generated.
+// It reports whether an entry was removed. Subject to flow-mod loss.
+func (s *Switch) DeleteExact(m Match, priority int) bool {
+	delay := s.CtrlLatency
+	if f := s.faults.Load(); f != nil {
+		key := "del/" + m.String()
+		if f.drop(key, f.FlowModLoss) {
+			s.flowModDrops.Add(1)
+			s.clk.Sleep(delay)
+			return false
+		}
+		if extra := f.delay(key); extra > 0 {
+			s.ctrlDelayed.Add(1)
+			delay += extra
+		}
+	}
+	s.clk.Sleep(delay)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.deleteExactLocked(m, priority)
+}
+
+// deleteExactLocked removes the first live entry with the exact match
+// and priority. Callers hold s.mu.
+func (s *Switch) deleteExactLocked(m Match, priority int) bool {
+	for _, e := range s.index[m] {
+		if !e.removed && e.Priority == priority {
+			e.removed = true
+			s.removedCount++
+			s.dropIndexLocked(e)
+			s.compactLocked()
+			s.epoch.Add(1)
+			return true
+		}
+	}
+	return false
+}
+
+// ApplyBundle applies a reconciliation repair set — orphan deletions
+// followed by missing installs — as one barriered, acknowledged
+// exchange: the OpenFlow BUNDLE commit idiom. Like ResyncFrom it is
+// not subject to channel faults; reconcilers repair with it precisely
+// so that repairs never themselves need repairing, and so that repair
+// traffic does not perturb the fault model's per-message loss streams.
+// It returns how many deletes removed a live entry.
+func (s *Switch) ApplyBundle(deletes, installs []FlowSpec) int {
+	s.clk.Sleep(2 * s.CtrlLatency) // bundle transfer + commit round trip
+	s.mu.Lock()
+	deleted := 0
+	for _, spec := range deletes {
+		if s.deleteExactLocked(spec.Match, spec.Priority) {
+			deleted++
+		}
+	}
+	entries := make([]*flowEntry, 0, len(installs))
+	for _, spec := range installs {
+		entries = append(entries, s.installLocked(spec))
+	}
+	s.mu.Unlock()
+	for _, e := range entries {
+		s.armTimers(e)
+	}
+	return deleted
+}
+
+// Barrier models an OFPT_BARRIER round trip: it returns once all
+// preceding control messages have been processed, or false when the
+// barrier itself was lost to channel faults.
+func (s *Switch) Barrier() bool {
+	s.clk.Sleep(2 * s.CtrlLatency)
+	if f := s.faults.Load(); f != nil && f.drop("barrier", f.FlowModLoss) {
+		s.flowModDrops.Add(1)
+		return false
+	}
+	return true
+}
+
+// Restart models a switch reboot: the flow table, classifier index,
+// and microflow cache are lost; static configuration (routes, port
+// wiring, controller connection) survives. The controller learns of
+// the reboot on the event mailbox after the channel latency and is
+// expected to ResyncFrom its desired state.
+func (s *Switch) Restart() {
+	s.mu.Lock()
+	s.wipeTableLocked()
+	connected := s.connected
+	s.mu.Unlock()
+	if connected {
+		at := s.clk.Now()
+		s.clk.Post(s.CtrlLatency, func() {
+			s.events.Send(SwitchEvent{Restarted: true, At: at})
+		})
+	}
+}
+
+// wipeTableLocked drops every flow entry. Entries are marked removed
+// so in-flight idle/hard timers and compiled touch callbacks no-op.
+// Callers hold s.mu.
+func (s *Switch) wipeTableLocked() {
+	for i, e := range s.table {
+		e.removed = true
+		s.table[i] = nil
+	}
+	s.table = s.table[:0]
+	s.removedCount = 0
+	clear(s.index)
+	clear(s.sigCount)
+	clear(s.micro)
+	s.epoch.Add(1)
+}
+
+// ResyncFrom replaces the whole flow table with specs in one reliable
+// barriered exchange — the recovery primitive the controller uses
+// after a restart. Unlike InstallFlow it is not subject to channel
+// faults: the real-world analogue is a bundled, acknowledged,
+// retried-until-applied sync.
+func (s *Switch) ResyncFrom(specs []FlowSpec) {
+	s.clk.Sleep(s.CtrlLatency)
+	s.mu.Lock()
+	s.wipeTableLocked()
+	entries := make([]*flowEntry, 0, len(specs))
+	for _, spec := range specs {
+		entries = append(entries, s.installLocked(spec))
+	}
+	s.mu.Unlock()
+	for _, e := range entries {
+		s.armTimers(e)
+	}
+}
+
+// FlowTable reads back the live table as FlowSpecs (a flow-stats
+// round trip), sorted by priority descending then match string. The
+// reconciler audits this snapshot against its desired state.
+func (s *Switch) FlowTable() []FlowSpec {
+	s.clk.Sleep(2 * s.CtrlLatency)
+	s.mu.Lock()
+	out := make([]FlowSpec, 0, len(s.table))
+	for _, e := range s.table {
+		if e.removed {
+			continue
+		}
+		out = append(out, e.FlowSpec)
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Priority != out[j].Priority {
+			return out[i].Priority > out[j].Priority
+		}
+		return out[i].Match.String() < out[j].Match.String()
+	})
+	return out
+}
+
 // PacketOut re-injects a packet held by the controller, applying the
 // given actions (typically after installing the redirect flows).
 func (s *Switch) PacketOut(pkt *netem.Packet, inPort int, actions []Action) {
-	s.clk.Sleep(s.CtrlLatency)
+	delay := s.CtrlLatency
+	if f := s.faults.Load(); f != nil {
+		key := "out/" + pkt.Src.String() + ">" + pkt.Dst.String()
+		if f.drop(key, f.PacketOutLoss) {
+			s.pktOutDrops.Add(1)
+			s.clk.Sleep(delay)
+			return
+		}
+		if extra := f.delay(key); extra > 0 {
+			s.ctrlDelayed.Add(1)
+			delay += extra
+		}
+	}
+	s.clk.Sleep(delay)
 	if len(actions) == 0 {
 		// OFPP_TABLE: run the packet through the pipeline again.
 		s.process(pkt.Clone(), inPort)

@@ -85,6 +85,19 @@ type Options struct {
 	// in a seeded fault-injection plan (the cloud origin stays
 	// fault-free: it is the guaranteed fallback).
 	Faults *faultinject.Config
+	// NetChaos, when set, configures seeded network and control-channel
+	// chaos: client access-link flaps, cloud-router crash windows,
+	// switch restarts, and OpenFlow channel loss. The schedule is armed
+	// by ApplyNetChaos — callers invoke it after service registration so
+	// fault offsets line up with trace-replay time.
+	NetChaos *faultinject.NetworkConfig
+	// ResyncInterval enables the controller's periodic flow-table
+	// anti-entropy audit (zero disables it).
+	ResyncInterval time.Duration
+	// HoldTimeout bounds how long a packet-in may be held awaiting
+	// deployment before the request degrades to the cloud path (zero
+	// holds indefinitely).
+	HoldTimeout time.Duration
 	// RetryMax / BreakerThreshold / BreakerCooldown / HealthProbeInterval
 	// pass through to the controller's resilience knobs (zero keeps the
 	// controller defaults; HealthProbeInterval zero disables the prober).
@@ -147,6 +160,9 @@ type Testbed struct {
 	// Faults is the active fault-injection plan (nil without Faults
 	// options).
 	Faults *faultinject.Plan
+	// NetPlan is the armed network chaos plan (nil until ApplyNetChaos
+	// runs with NetChaos options set).
+	NetPlan *faultinject.NetworkPlan
 
 	Docker  *cluster.DockerCluster
 	Kube    *cluster.KubeCluster
@@ -165,6 +181,7 @@ type Testbed struct {
 	Hub, GCR    *registry.Registry
 	Private     *registry.Registry
 	clients     []*netem.Host
+	clientLinks []*netem.Link
 	clientsB    []*netem.Host
 	cloudRouter *netem.Router
 	cloudPort   int
@@ -214,12 +231,13 @@ func New(clk vclock.Clock, opts Options) (*Testbed, error) {
 	// Clients (Raspberry Pis): 1 Gbps links through the Aruba switch.
 	for i := 0; i < opts.Clients; i++ {
 		host := n.NewHost(fmt.Sprintf("pi%02d", i), trace.ClientAddr(i))
-		n.Connect(host.NIC(), sw.Port(i+1), netem.LinkConfig{
+		link := n.Connect(host.NIC(), sw.Port(i+1), netem.LinkConfig{
 			Latency:   500 * time.Microsecond,
 			Bandwidth: netem.GbpsToBytes(1),
 		})
 		sw.AddRoute(host.IP(), i+1)
 		tb.clients = append(tb.clients, host)
+		tb.clientLinks = append(tb.clientLinks, link)
 	}
 
 	// EGS: 10 Gbps uplink, hosting Docker and Kubernetes over one
@@ -420,6 +438,8 @@ func New(clk vclock.Clock, opts Options) (*Testbed, error) {
 		BreakerThreshold:    opts.BreakerThreshold,
 		BreakerCooldown:     opts.BreakerCooldown,
 		HealthProbeInterval: opts.HealthProbeInterval,
+		ResyncInterval:      opts.ResyncInterval,
+		HoldTimeout:         opts.HoldTimeout,
 		ScaleDownIdle:       opts.ScaleDownIdle,
 		RemoveOnIdle:        opts.RemoveOnIdle,
 		DisableFlowMemory:   opts.DisableFlowMemory,
@@ -452,6 +472,37 @@ func (tb *Testbed) defaultRegistry() registry.Remote {
 		rem = tb.Faults.WrapRemote(rem)
 	}
 	return rem
+}
+
+// ApplyNetChaos arms the Options.NetChaos schedule relative to the
+// current virtual instant: flaps the first FlapLinks client access
+// links, schedules the cloud-router crash windows and main-switch
+// restarts, and installs the control-channel fault model on every
+// managed switch. It is a no-op without NetChaos options, and is
+// deliberately separate from New so callers can register services
+// first — chaos offsets then align with trace-replay time.
+func (tb *Testbed) ApplyNetChaos() {
+	if tb.Opts.NetChaos == nil || tb.NetPlan != nil {
+		return
+	}
+	plan := faultinject.NewNetworkPlan(tb.Clock, *tb.Opts.NetChaos)
+	tb.NetPlan = plan
+	flaps := tb.Opts.NetChaos.FlapLinks
+	if flaps <= 0 {
+		flaps = 3
+	}
+	if flaps > len(tb.clientLinks) {
+		flaps = len(tb.clientLinks)
+	}
+	for i := 0; i < flaps; i++ {
+		plan.FlapLink(tb.clients[i].Name(), tb.clientLinks[i])
+	}
+	plan.CrashRouter(tb.cloudRouter)
+	plan.ApplyChannel(tb.Switch)
+	if tb.SwitchB != nil {
+		plan.ApplyChannel(tb.SwitchB)
+	}
+	plan.RestartSwitch(tb.Switch)
 }
 
 // Client returns client host i.
