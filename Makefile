@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet check bench bench-scale bench-save bench-sim bench-sim-save bench-sim-guard fastpath-diff chaos-check
+.PHONY: build test race vet check bench bench-scale bench-save bench-sim bench-sim-save bench-sim-guard bench-load bench-load-save bench-load-guard fastpath-diff sched-diff chaos-check
 
 build:
 	$(GO) build ./...
@@ -58,6 +58,35 @@ bench-sim-guard:
 			-gate 'BenchmarkPacketSwitchingFanIn$$=96' \
 			-gate 'BenchmarkBulkTransfer$$=24'
 
+# bench-load runs the timer-population benchmarks: the scheduler at one
+# million pending timers (wheel vs heap, post/stop churn and firing
+# drain) and the 100k-flow open-loop load engine end to end.
+bench-load:
+	$(GO) test -bench='BenchmarkMillionTimers' -benchtime=2s -benchmem -run=^$$ ./internal/vclock/
+	$(GO) test -bench='BenchmarkOpenLoopLoad' -benchtime=1x -benchmem -run=^$$ .
+
+# bench-load-save archives a bench-load run (BENCH_5.json is this repo's
+# checked-in timer-wheel/load-engine baseline).
+bench-load-save:
+	( $(GO) test -bench='BenchmarkMillionTimers' -benchtime=2s -benchmem -run=^$$ ./internal/vclock/ ; \
+	  $(GO) test -bench='BenchmarkOpenLoopLoad' -benchtime=1x -benchmem -run=^$$ . ) | \
+		$(GO) run ./cmd/benchsave BENCH_5.json
+
+# bench-load-guard gates the timer-wheel hot paths and the load engine
+# on allocation counts: posting and cancelling a timer under a 1M-timer
+# population must stay allocation-free on the wheel, and one full
+# 100k-flow open-loop run must hold its measured ceiling (3.50M allocs,
+# gated with headroom). The (-\d+)?$ tail keeps the gates matching on
+# multi-core runners, where go test suffixes -GOMAXPROCS.
+bench-load-guard:
+	$(GO) test -bench='BenchmarkMillionTimers/wheel' -benchtime=100000x -benchmem -run=^$$ ./internal/vclock/ | \
+		$(GO) run ./cmd/benchguard \
+			-gate 'BenchmarkMillionTimers/wheel/post-stop(-[0-9]+)?$$=0' \
+			-gate 'BenchmarkMillionTimers/wheel/drain(-[0-9]+)?$$=0'
+	$(GO) test -bench='BenchmarkOpenLoopLoad' -benchtime=1x -benchmem -run=^$$ . | \
+		$(GO) run ./cmd/benchguard \
+			-gate 'BenchmarkOpenLoopLoad(-[0-9]+)?$$=4200000'
+
 # fastpath-diff verifies the datapath fast path is invisible: the full
 # experiment suite must be byte-identical with the fast path on and off,
 # sequentially and under parallel replications.
@@ -71,6 +100,21 @@ fastpath-diff:
 	diff /tmp/fpdiff-on.txt /tmp/fpdiff-on-par.txt
 	diff /tmp/fpdiff-on.txt /tmp/fpdiff-off-par.txt
 	@echo "fastpath-diff: experiment outputs byte-identical"
+
+# sched-diff verifies the timing wheel is invisible: the full experiment
+# suite must be byte-identical under the wheel and the retained binary
+# heap, with and without the datapath fast path, sequentially and under
+# parallel replications.
+sched-diff:
+	$(GO) build -o /tmp/edgesim-sdiff ./cmd/edgesim
+	/tmp/edgesim-sdiff -exp all -n 5 -seed 1 -sched wheel > /tmp/sdiff-wheel.txt
+	/tmp/edgesim-sdiff -exp all -n 5 -seed 1 -sched heap > /tmp/sdiff-heap.txt
+	/tmp/edgesim-sdiff -exp all -n 5 -seed 1 -sched heap -no-fastpath > /tmp/sdiff-heap-nofp.txt
+	/tmp/edgesim-sdiff -exp all -n 5 -seed 1 -sched heap -parallel 4 > /tmp/sdiff-heap-par.txt
+	diff /tmp/sdiff-wheel.txt /tmp/sdiff-heap.txt
+	diff /tmp/sdiff-wheel.txt /tmp/sdiff-heap-nofp.txt
+	diff /tmp/sdiff-wheel.txt /tmp/sdiff-heap-par.txt
+	@echo "sched-diff: experiment outputs byte-identical under wheel and heap"
 
 # chaos-check is the chaos-hardening gate: the full-trace chaos replay
 # must hold its invariants (exit 0) under the race detector's build,

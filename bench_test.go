@@ -248,6 +248,32 @@ func BenchmarkScaleDispatch(b *testing.B) {
 	}
 }
 
+// BenchmarkOpenLoopLoad drives the open-loop load engine at the 100k-
+// concurrent-flow scale: a Poisson arrival process over Zipf-assigned
+// services, every flow holding FlowMemory state and a redirect pair
+// with idle timers — the pending-timer population the hierarchical
+// timing wheel serves. One iteration is one complete run (cold wave
+// plus revisits); allocs/op is gated in CI (make bench-load-guard).
+func BenchmarkOpenLoopLoad(b *testing.B) {
+	var res *testbed.LoadResult
+	var err error
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err = testbed.RunLoad(testbed.LoadConfig{
+			Flows: 100_000,
+			Rate:  50_000,
+			Seed:  int64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(res.Arrivals), "arrivals/op")
+	b.ReportMetric(float64(res.Arrivals)/res.Wall.Seconds(), "arrivals/s-wall")
+	b.ReportMetric(simMS(res.Dispatch.Median()), "sim-ms-dispatch-p50")
+	b.ReportMetric(float64(res.Punts), "punts")
+}
+
 // BenchmarkTraceReplay runs a reduced end-to-end replay of the bigFlows
 // workload through the complete system.
 func BenchmarkTraceReplay(b *testing.B) {

@@ -25,6 +25,7 @@ import (
 	"github.com/c3lab/transparentedge/internal/metrics"
 	"github.com/c3lab/transparentedge/internal/testbed"
 	"github.com/c3lab/transparentedge/internal/trace"
+	"github.com/c3lab/transparentedge/internal/vclock"
 )
 
 var allServices = []string{"asm", "nginx", "resnet", "nginxpy"}
@@ -39,7 +40,7 @@ var workers = 1
 var emit = func(t *metrics.Table) { fmt.Println(t) }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: tableI|fig9|fig10|fig11|fig12|fig13|fig14|fig15|fig16|access|trace|faults|chaos|scale|all")
+	exp := flag.String("exp", "all", "experiment: tableI|fig9|fig10|fig11|fig12|fig13|fig14|fig15|fig16|access|trace|faults|chaos|scale|load|all")
 	n := flag.Int("n", testbed.DefaultDeployments, "deployments per run (paper: 42)")
 	service := flag.String("service", "all", "service key: asm|nginx|resnet|nginxpy|all")
 	seed := flag.Int64("seed", 1, "simulation seed")
@@ -47,6 +48,9 @@ func main() {
 	parallel := flag.Int("parallel", 1, "workers for independent replications: 1 = sequential, 0 = GOMAXPROCS")
 	format := flag.String("format", "table", "output format for tabular results: table|csv")
 	noFastPath := flag.Bool("no-fastpath", false, "disable the datapath fast path (A/B verification; output must be identical)")
+	sched := flag.String("sched", "wheel", "event scheduler: wheel|heap (A/B verification; output must be identical)")
+	flows := flag.Int("flows", 0, "distinct flows for -exp load (default 20000)")
+	rate := flag.Float64("rate", 0, "mean arrivals/s for -exp load (default 5000)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -55,6 +59,12 @@ func main() {
 		emit = func(t *metrics.Table) { fmt.Print(t.CSV()) }
 	}
 	testbed.DefaultNoFastPath = *noFastPath
+	kind, err := vclock.ParseSchedulerKind(*sched)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "edgesim: -sched: %v\n", err)
+		os.Exit(2)
+	}
+	vclock.SetDefaultScheduler(kind)
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
 		if err != nil {
@@ -122,9 +132,10 @@ func main() {
 	run("faults", func() error { return faultReplay(*seed) })
 	run("scale", func() error { return scale(*seed) })
 
-	// chaos is deliberately NOT part of -exp all: with chaos disabled the
-	// figure outputs must stay byte-identical, so the network/control-
-	// channel chaos replay only runs when asked for by name.
+	// chaos and load are deliberately NOT part of -exp all: the figure
+	// outputs must stay byte-identical run to run, so the chaos replay
+	// runs only when asked for by name, and the load experiment (whose
+	// wall-clock throughput line depends on the host) likewise.
 	if *exp == "chaos" {
 		if err := chaosReplay(*seed); err != nil {
 			fmt.Fprintf(os.Stderr, "edgesim: chaos: %v\n", err)
@@ -132,6 +143,47 @@ func main() {
 		}
 		fmt.Println()
 	}
+	if *exp == "load" {
+		if err := load(*flows, *rate, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "edgesim: load: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+}
+
+// load runs the open-loop Poisson/Zipf arrival engine: -flows distinct
+// synthetic clients at -rate arrivals/s against pre-deployed services.
+// The table on stdout is deterministic for a given seed (and identical
+// under -sched wheel and -sched heap); the wall-clock throughput line
+// goes to stderr because it is the only host-dependent number.
+func load(flows int, rate float64, seed int64) error {
+	res, err := testbed.RunLoad(testbed.LoadConfig{Flows: flows, Rate: rate, Seed: seed})
+	if err != nil {
+		return err
+	}
+	cfg := res.Config
+	fmt.Printf("Open-loop load — %d flows, %.0f arrivals/s Poisson, %d services (Zipf s=%.1f), seed %d\n",
+		cfg.Flows, cfg.Rate, cfg.Services, cfg.ZipfS, seed)
+	t := metrics.NewTable("", "metric", "value")
+	t.AddRow("arrivals", fmt.Sprintf("%d", res.Arrivals))
+	t.AddRow("virtual span", fmt.Sprintf("%v", res.VirtualDuration.Round(time.Millisecond)))
+	t.AddRow("punts answered", fmt.Sprintf("%d", res.Punts))
+	t.AddRow("dispatch p50", metrics.FmtMS(res.Dispatch.Median()))
+	t.AddRow("dispatch p99", metrics.FmtMS(res.Dispatch.Percentile(99)))
+	t.AddRow("packet-ins", fmt.Sprintf("%d", res.Stats.PacketIns))
+	t.AddRow("memory hits", fmt.Sprintf("%d", res.Stats.MemoryHits))
+	t.AddRow("dispatches", fmt.Sprintf("%d", res.Stats.ScheduleCalls))
+	t.AddRow("flows installed", fmt.Sprintf("%d", res.Stats.FlowsInstalled))
+	t.AddRow("cloud forwards", fmt.Sprintf("%d", res.Stats.CloudForwards))
+	t.AddRow("replies absorbed", fmt.Sprintf("%d", res.DroppedReplies))
+	for i, n := range res.ServiceArrivals {
+		t.AddRow(fmt.Sprintf("arrivals svc %d", i), fmt.Sprintf("%d", n))
+	}
+	emit(t)
+	fmt.Fprintf(os.Stderr, "load: %d arrivals in %v wall (%.0f arrivals/s)\n",
+		res.Arrivals, res.Wall.Round(time.Millisecond), float64(res.Arrivals)/res.Wall.Seconds())
+	return nil
 }
 
 // chaosReplay replays the trace under the default network chaos

@@ -260,6 +260,12 @@ type Switch struct {
 	// faults, when non-nil, injects loss/delay into the control channel
 	// (see channel.go). Atomic so the datapath checks it without mu.
 	faults atomic.Pointer[ChannelFaults]
+	// onPacketOut, when set, observes every controller PacketOut at the
+	// moment it re-enters the pipeline (after control-channel latency
+	// and loss). Nil-gated and atomic so the clean path pays one load.
+	// The load engine uses it to measure punt→packet-out dispatch
+	// latency; the observer must not retain or mutate the packet.
+	onPacketOut atomic.Pointer[func(pkt *netem.Packet, inPort int)]
 	// events carries lifecycle notifications (restarts) to the
 	// controller.
 	events *vclock.Mailbox[SwitchEvent]
@@ -989,12 +995,25 @@ func (s *Switch) PacketOut(pkt *netem.Packet, inPort int, actions []Action) {
 		}
 	}
 	s.clk.Sleep(delay)
+	if h := s.onPacketOut.Load(); h != nil {
+		(*h)(pkt, inPort)
+	}
 	if len(actions) == 0 {
 		// OFPP_TABLE: run the packet through the pipeline again.
 		s.process(pkt.Clone(), inPort)
 		return
 	}
 	s.apply(pkt.Clone(), inPort, actions)
+}
+
+// SetPacketOutHook installs (or, with nil, clears) the packet-out
+// observer. See the onPacketOut field comment for the contract.
+func (s *Switch) SetPacketOutHook(h func(pkt *netem.Packet, inPort int)) {
+	if h == nil {
+		s.onPacketOut.Store(nil)
+		return
+	}
+	s.onPacketOut.Store(&h)
 }
 
 // Flows returns a snapshot of the table sorted by priority then install

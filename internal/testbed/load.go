@@ -1,0 +1,285 @@
+package testbed
+
+import (
+	"math"
+	"sync"
+	"time"
+
+	"github.com/c3lab/transparentedge/internal/catalog"
+	"github.com/c3lab/transparentedge/internal/core"
+	"github.com/c3lab/transparentedge/internal/metrics"
+	"github.com/c3lab/transparentedge/internal/netem"
+	"github.com/c3lab/transparentedge/internal/vclock"
+)
+
+// LoadConfig sizes the open-loop load experiment: an arrival process
+// injected straight into the ingress switch, exercising the intercept →
+// punt → dispatch → flow-install pipeline (and the scheduler's timer
+// population behind it) at flow counts no per-client goroutine swarm
+// could reach.
+type LoadConfig struct {
+	// ServiceKey is the catalog service every registered service runs
+	// (default nginx — the paper's single-service-type-per-run setup).
+	ServiceKey string
+	// Flows is the number of distinct synthetic client flows (default
+	// 20000). Each flow gets its own CGNAT source address, its own
+	// FlowMemory entry, and its own pair of switch flows with idle
+	// timers.
+	Flows int
+	// Rate is the mean arrival rate in flows-per-second of the Poisson
+	// process (default 5000/s, so a default run outlives SwitchFlowIdle
+	// and the revisit phase reaches the memory-hit regime). Open loop:
+	// arrival instants are drawn from the exponential inter-arrival
+	// distribution and never slowed by the system under test.
+	Rate float64
+	// Revisits is the mean number of extra arrivals per flow after its
+	// first (default 1.0). Revisits land after the cold phase, when
+	// early switch flows have idled out but the FlowMemory still holds
+	// the mapping — the memory-hit regime.
+	Revisits float64
+	// Services spreads the flows over this many registered services
+	// (default 8), assigned per flow by a Zipf draw over service rank.
+	Services int
+	// ZipfS is the Zipf exponent of the service popularity distribution
+	// (default 1.1; larger = more skew toward service 0).
+	ZipfS float64
+	// SwitchFlowIdle / MemoryIdle override the controller timeouts
+	// (defaults 2s / 5min) — together with Rate they set how many idle
+	// timers stay pending, which is the timer-wheel's workload.
+	SwitchFlowIdle time.Duration
+	MemoryIdle     time.Duration
+	// Seed drives the arrival process and the service assignment.
+	Seed int64
+}
+
+func (c LoadConfig) withDefaults() LoadConfig {
+	if c.ServiceKey == "" {
+		c.ServiceKey = "nginx"
+	}
+	if c.Flows <= 0 {
+		c.Flows = 20000
+	}
+	if c.Rate <= 0 {
+		c.Rate = 5000
+	}
+	if c.Revisits < 0 {
+		c.Revisits = 0
+	} else if c.Revisits == 0 {
+		c.Revisits = 1
+	}
+	if c.Services <= 0 {
+		c.Services = 8
+	}
+	if c.ZipfS <= 0 {
+		c.ZipfS = 1.1
+	}
+	if c.SwitchFlowIdle <= 0 {
+		c.SwitchFlowIdle = 2 * time.Second
+	}
+	if c.MemoryIdle <= 0 {
+		c.MemoryIdle = 5 * time.Minute
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// LoadResult is the outcome of one open-loop run. Everything except
+// Wall is deterministic for a given config.
+type LoadResult struct {
+	Config LoadConfig
+	// Arrivals is the number of packets injected:
+	// Flows × (1 + Revisits).
+	Arrivals int
+	// Punts counts arrivals that reached the controller (no switch flow
+	// matched) and were answered with a PacketOut; Dispatch holds their
+	// punt-to-release latencies.
+	Punts    int
+	Dispatch *metrics.Series
+	// VirtualDuration is the simulated span of the arrival process.
+	VirtualDuration time.Duration
+	// Wall is the host time the injection loop took — throughput
+	// reporting only, never part of deterministic output.
+	Wall time.Duration
+	// Stats is the controller's accounting after the run has settled.
+	Stats core.Stats
+	// ServiceArrivals is the per-service arrival count (the realized
+	// Zipf popularity).
+	ServiceArrivals []int
+	// DroppedReplies counts reply segments (RSTs to synthetic flow
+	// addresses) absorbed by the injection host — the expected fate of
+	// every reply, since synthetic flows have no TCP state.
+	DroppedReplies int64
+}
+
+// loadFlowBase is the first synthetic client address: the CGNAT block
+// 100.64.0.0/10, disjoint from every real testbed host so flow sources
+// can never collide with clients, infrastructure, or service addresses.
+var loadFlowBase = netem.ParseIP("100.64.0.0")
+
+// loadInjectPort is the switch port synthetic flow addresses route to.
+// Giving every flow an explicit route matters: the main switch default-
+// routes unknown destinations to the cloud uplink and the cloud router
+// default-routes them back, so a reply to an unrouted synthetic address
+// would ping-pong on that link forever.
+const loadInjectPort = 1
+
+// RunLoad drives the open-loop Poisson/Zipf arrival process against a
+// pre-deployed testbed. Per-flow state is two flat arrays (service
+// assignment and arrival counts) — no goroutine, connection, or timer
+// per client on the generator side; the single generator goroutine
+// walks the arrival schedule and injects bare segments directly into
+// the ingress switch. Each first arrival punts, dispatches, and
+// installs a redirect pair whose idle timers (plus the FlowMemory
+// expiry) are exactly the pending-timer population the hierarchical
+// timing wheel exists to serve.
+func RunLoad(cfg LoadConfig) (*LoadResult, error) {
+	cfg = cfg.withDefaults()
+	res := &LoadResult{
+		Config:          cfg,
+		Dispatch:        metrics.NewSeries("punt-dispatch"),
+		ServiceArrivals: make([]int, cfg.Services),
+	}
+	clk := vclock.New()
+	var runErr error
+	clk.Run(func() {
+		tb, err := New(clk, Options{
+			WithDocker:     true,
+			Clients:        2,
+			SwitchFlowIdle: cfg.SwitchFlowIdle,
+			MemoryIdle:     cfg.MemoryIdle,
+			Seed:           cfg.Seed,
+		})
+		if err != nil {
+			runErr = err
+			return
+		}
+		svc, err := catalog.ByKey(cfg.ServiceKey)
+		if err != nil {
+			runErr = err
+			return
+		}
+		handles, err := tb.RegisterMany(svc, cfg.Services)
+		if err != nil {
+			runErr = err
+			return
+		}
+		// Pre-deploy every service: the experiment measures the
+		// transparent-access control plane at scale, not container
+		// start-up.
+		for _, h := range handles {
+			if err := tb.PrePull(h, "edge-docker"); err != nil {
+				runErr = err
+				return
+			}
+			if _, err := tb.Controller.PreDeploy(h.Addr, "edge-docker"); err != nil {
+				runErr = err
+				return
+			}
+		}
+
+		sw := tb.Switch
+		inPort := sw.Port(loadInjectPort)
+		rng := vclock.NewRand(cfg.Seed + 97)
+		cdf := zipfCDF(cfg.Services, cfg.ZipfS)
+
+		// Compact per-flow state: the service each flow talks to
+		// (assigned on first arrival), nothing else.
+		svcOf := make([]int32, cfg.Flows)
+		for i := range svcOf {
+			svcOf[i] = -1
+		}
+
+		start := clk.Now()
+		var mu sync.Mutex
+		punts := 0
+		// Arrival instants ride inside the packet: the punt clone
+		// preserves Seq/Ack, so the hook measures exactly the punted
+		// packet's hold time — no per-flow stamp to go stale when an
+		// arrival is forwarded in-switch instead.
+		sw.SetPacketOutHook(func(pkt *netem.Packet, _ int) {
+			sent := time.Duration(uint64(pkt.Seq)<<32 | uint64(pkt.Ack))
+			lat := clk.Now().Sub(start) - sent
+			mu.Lock()
+			punts++
+			res.Dispatch.Add(lat)
+			mu.Unlock()
+		})
+
+		total := cfg.Flows + int(float64(cfg.Flows)*cfg.Revisits+0.5)
+		wallStart := time.Now()
+		next := start
+		for k := 0; k < total; k++ {
+			gap := time.Duration(rng.ExpFloat64() * float64(time.Second) / cfg.Rate)
+			next = next.Add(gap)
+			if d := next.Sub(clk.Now()); d > 0 {
+				clk.Sleep(d)
+			}
+			// Cold phase first (every flow's debut, in order), then
+			// uniformly random revisits.
+			flow := k
+			if flow >= cfg.Flows {
+				flow = rng.Intn(cfg.Flows)
+			}
+			si := svcOf[flow]
+			if si < 0 {
+				si = int32(zipfPick(cdf, rng.Float64()))
+				svcOf[flow] = si
+				sw.AddRoute(loadFlowBase+netem.IP(flow), loadInjectPort)
+			}
+			res.ServiceArrivals[si]++
+			ns := uint64(clk.Now().Sub(start))
+			pkt := netem.NewPacket()
+			pkt.Src = netem.HostPort{IP: loadFlowBase + netem.IP(flow), Port: 40000}
+			pkt.Dst = handles[si].Addr
+			pkt.ConnID = uint64(flow) + 1
+			pkt.Seq = uint32(ns >> 32)
+			pkt.Ack = uint32(ns)
+			sw.HandlePacket(pkt, inPort)
+		}
+		res.Arrivals = total
+		res.VirtualDuration = clk.Since(start)
+		res.Wall = time.Since(wallStart)
+
+		// Settle: let held punts, packet-outs, and reply RSTs drain
+		// before snapshotting.
+		clk.Sleep(2 * time.Second)
+		sw.SetPacketOutHook(nil)
+		mu.Lock()
+		res.Punts = punts
+		mu.Unlock()
+		res.Stats = tb.Controller.Stats()
+		res.DroppedReplies = tb.Client(0).Dropped()
+	})
+	if runErr != nil {
+		return nil, runErr
+	}
+	return res, nil
+}
+
+// zipfCDF precomputes the cumulative Zipf distribution over n ranks
+// with exponent s: weight(r) ∝ 1/(r+1)^s.
+func zipfCDF(n int, s float64) []float64 {
+	cdf := make([]float64, n)
+	sum := 0.0
+	for r := 0; r < n; r++ {
+		sum += 1 / math.Pow(float64(r+1), s)
+		cdf[r] = sum
+	}
+	for r := range cdf {
+		cdf[r] /= sum
+	}
+	return cdf
+}
+
+// zipfPick maps a uniform draw through the CDF (n is small: linear
+// scan).
+func zipfPick(cdf []float64, u float64) int {
+	for r, c := range cdf {
+		if u < c {
+			return r
+		}
+	}
+	return len(cdf) - 1
+}

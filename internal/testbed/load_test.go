@@ -1,0 +1,135 @@
+package testbed
+
+import (
+	"testing"
+	"time"
+
+	"github.com/c3lab/transparentedge/internal/vclock"
+)
+
+// loadFingerprint reduces a LoadResult to its deterministic fields —
+// everything except wall time.
+func loadFingerprint(t *testing.T, res *LoadResult) []int64 {
+	t.Helper()
+	fp := []int64{
+		int64(res.Arrivals),
+		int64(res.Punts),
+		int64(res.Dispatch.Len()),
+		int64(res.Dispatch.Median()),
+		int64(res.Dispatch.Percentile(99)),
+		int64(res.VirtualDuration),
+		res.Stats.PacketIns,
+		res.Stats.MemoryHits,
+		res.Stats.ScheduleCalls,
+		res.Stats.FlowsInstalled,
+		res.Stats.CloudForwards,
+		res.DroppedReplies,
+	}
+	for _, n := range res.ServiceArrivals {
+		fp = append(fp, int64(n))
+	}
+	return fp
+}
+
+// TestLoadDeterminism runs the same config twice: every deterministic
+// field must be identical (wall time is the only run-dependent output).
+func TestLoadDeterminism(t *testing.T) {
+	cfg := LoadConfig{Flows: 1500, Rate: 3000, Seed: 7}
+	a, err := RunLoad(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunLoad(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fa, fb := loadFingerprint(t, a), loadFingerprint(t, b)
+	for i := range fa {
+		if fa[i] != fb[i] {
+			t.Fatalf("fingerprint[%d] differs across identical runs: %d vs %d\n%v\n%v", i, fa[i], fb[i], fa, fb)
+		}
+	}
+}
+
+// TestLoadSchedulerDifferential runs the load engine under the timing
+// wheel and under the binary heap: the schedulers must be observably
+// interchangeable at whole-experiment granularity.
+func TestLoadSchedulerDifferential(t *testing.T) {
+	cfg := LoadConfig{Flows: 1500, Rate: 3000, Seed: 3}
+	run := func(kind vclock.SchedulerKind) []int64 {
+		prev := vclock.SetDefaultScheduler(kind)
+		defer vclock.SetDefaultScheduler(prev)
+		res, err := RunLoad(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return loadFingerprint(t, res)
+	}
+	wheel := run(vclock.SchedulerWheel)
+	heap := run(vclock.SchedulerHeap)
+	for i := range wheel {
+		if wheel[i] != heap[i] {
+			t.Fatalf("fingerprint[%d] differs across schedulers: wheel %d, heap %d\nwheel %v\nheap  %v",
+				i, wheel[i], heap[i], wheel, heap)
+		}
+	}
+}
+
+// TestLoadRegimes checks the run exercises all three dispatch regimes:
+// a cold punt per flow, in-switch forwarding for fast revisits, and
+// FlowMemory hits for revisits after the switch flow idled out. The
+// short SwitchFlowIdle forces the third regime inside a small run.
+func TestLoadRegimes(t *testing.T) {
+	res, err := RunLoad(LoadConfig{
+		Flows:          2000,
+		Rate:           4000,
+		SwitchFlowIdle: 200 * time.Millisecond,
+		Seed:           5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Arrivals != 4000 {
+		t.Fatalf("arrivals = %d, want 4000", res.Arrivals)
+	}
+	// Every flow's debut punts; some revisits punt again after their
+	// switch flow expired, and those must be FlowMemory hits, not
+	// re-dispatches of known flows.
+	if res.Punts <= 2000 {
+		t.Fatalf("punts = %d, want > flows (2000): expiry-driven re-punts missing", res.Punts)
+	}
+	if res.Stats.MemoryHits == 0 {
+		t.Fatal("no FlowMemory hits: revisit regime not reached")
+	}
+	// Every packet-in is a memory hit, a dispatch, or a concurrent
+	// duplicate the controller deduplicated (a revisit punting while the
+	// same flow's earlier punt is still in flight) — never anything else.
+	if got := res.Stats.MemoryHits + res.Stats.ScheduleCalls; got > res.Stats.PacketIns {
+		t.Fatalf("memory hits (%d) + dispatches (%d) = %d > packet-ins (%d)",
+			res.Stats.MemoryHits, res.Stats.ScheduleCalls, got, res.Stats.PacketIns)
+	} else if dedups := res.Stats.PacketIns - got; dedups > res.Stats.PacketIns/10 {
+		t.Fatalf("%d of %d packet-ins deduplicated: too many to be the in-flight race", dedups, res.Stats.PacketIns)
+	}
+	if res.Stats.CloudForwards != 0 {
+		t.Fatalf("cloud forwards = %d, want 0 (every service pre-deployed)", res.Stats.CloudForwards)
+	}
+	if res.Dispatch.Len() != res.Punts {
+		t.Fatalf("dispatch samples = %d, want = punts (%d)", res.Dispatch.Len(), res.Punts)
+	}
+	// Replies to synthetic sources must terminate at the injection host:
+	// one RST per arrival, except deduplicated punts (their held packet
+	// is dropped, never forwarded) — no loops, no leaks.
+	dedups := res.Stats.PacketIns - res.Stats.MemoryHits - res.Stats.ScheduleCalls
+	if want := int64(res.Arrivals) - dedups; res.DroppedReplies != want {
+		t.Fatalf("dropped replies = %d, want %d (arrivals %d - dedups %d)",
+			res.DroppedReplies, want, res.Arrivals, dedups)
+	}
+	// The Zipf assignment must actually skew: rank 0 strictly most
+	// popular.
+	for i := 1; i < len(res.ServiceArrivals); i++ {
+		if res.ServiceArrivals[0] <= res.ServiceArrivals[i] {
+			t.Fatalf("service 0 (%d arrivals) not the Zipf mode: service %d has %d",
+				res.ServiceArrivals[0], i, res.ServiceArrivals[i])
+		}
+	}
+}

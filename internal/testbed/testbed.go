@@ -229,16 +229,9 @@ func New(clk vclock.Clock, opts Options) (*Testbed, error) {
 	tb.Switch = sw
 
 	// Clients (Raspberry Pis): 1 Gbps links through the Aruba switch.
-	for i := 0; i < opts.Clients; i++ {
-		host := n.NewHost(fmt.Sprintf("pi%02d", i), trace.ClientAddr(i))
-		link := n.Connect(host.NIC(), sw.Port(i+1), netem.LinkConfig{
-			Latency:   500 * time.Microsecond,
-			Bandwidth: netem.GbpsToBytes(1),
-		})
-		sw.AddRoute(host.IP(), i+1)
-		tb.clients = append(tb.clients, host)
-		tb.clientLinks = append(tb.clientLinks, link)
-	}
+	tb.clients, tb.clientLinks = wireAccessClients(n, sw, "pi", opts.Clients, 1,
+		trace.ClientAddr,
+		func(ip netem.IP, port int) { sw.AddRoute(ip, port) })
 
 	// EGS: 10 Gbps uplink, hosting Docker and Kubernetes over one
 	// shared containerd store.
@@ -369,16 +362,12 @@ func New(clk vclock.Clock, opts Options) (*Testbed, error) {
 		gnb2.SetDefaultRoute(trunkB) // EGS, cloud, controller: via the trunk
 
 		zoneBBase := netem.ParseIP("192.168.2.0")
-		for i := 0; i < opts.ZoneBClients; i++ {
-			host := n.NewHost(fmt.Sprintf("pib%02d", i), zoneBBase+netem.IP(10+i))
-			n.Connect(host.NIC(), gnb2.Port(i+1), netem.LinkConfig{
-				Latency:   500 * time.Microsecond,
-				Bandwidth: netem.GbpsToBytes(1),
+		tb.clientsB, _ = wireAccessClients(n, gnb2, "pib", opts.ZoneBClients, 1,
+			func(i int) netem.IP { return zoneBBase + netem.IP(10+i) },
+			func(ip netem.IP, port int) {
+				gnb2.AddRoute(ip, port)
+				sw.AddRoute(ip, trunkA)
 			})
-			gnb2.AddRoute(host.IP(), i+1)
-			sw.AddRoute(host.IP(), trunkA)
-			tb.clientsB = append(tb.clientsB, host)
-		}
 		edgeB := n.NewHost("edge-zoneb", netem.ParseIP("10.0.2.2"))
 		edgeBPort := opts.ZoneBClients + 1
 		n.Connect(edgeB.NIC(), gnb2.Port(edgeBPort), netem.LinkConfig{
@@ -453,6 +442,30 @@ func New(clk vclock.Clock, opts Options) (*Testbed, error) {
 	tb.Controller = ctrl
 	ctrl.Start()
 	return tb, nil
+}
+
+// wireAccessClients is the one access-side topology builder: the
+// primary gNB's Raspberry-Pi swarm, the second zone's clients, and
+// RunLoad's injection hosts all wire through it. It connects count
+// hosts named prefix%02d to consecutive switch ports starting at
+// basePort over identical 1 Gbps / 500 µs access links, addresses them
+// via addrFor, and announces each address through route.
+func wireAccessClients(n *netem.Network, sw *openflow.Switch, prefix string, count, basePort int,
+	addrFor func(i int) netem.IP, route func(ip netem.IP, port int)) ([]*netem.Host, []*netem.Link) {
+	hosts := make([]*netem.Host, 0, count)
+	links := make([]*netem.Link, 0, count)
+	for i := 0; i < count; i++ {
+		port := basePort + i
+		host := n.NewHost(fmt.Sprintf("%s%02d", prefix, i), addrFor(i))
+		link := n.Connect(host.NIC(), sw.Port(port), netem.LinkConfig{
+			Latency:   500 * time.Microsecond,
+			Bandwidth: netem.GbpsToBytes(1),
+		})
+		route(host.IP(), port)
+		hosts = append(hosts, host)
+		links = append(links, link)
+	}
+	return hosts, links
 }
 
 // defaultRegistry returns the image source clusters pull from: either

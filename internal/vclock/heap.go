@@ -1,0 +1,110 @@
+package vclock
+
+// eventHeap is a binary min-heap ordered by (at, seq). The sift routines
+// are hand-rolled rather than going through container/heap: before the
+// timing wheel this was the single hottest data structure in a
+// simulation, and the interface-based API costs an indirect call per
+// comparison and swap. It survives behind SchedulerHeap so differential
+// tests can replay the same seed through two independent orderings.
+type eventHeap []*event
+
+// heapSched adapts eventHeap to the evScheduler interface.
+type heapSched struct {
+	h eventHeap
+}
+
+func (s *heapSched) push(ev *event)   { s.h.push(ev) }
+func (s *heapSched) pop() *event      { return s.h.pop() }
+func (s *heapSched) remove(ev *event) { s.h.remove(ev.index) }
+func (s *heapSched) size() int        { return len(s.h) }
+
+func (h eventHeap) less(i, j int) bool {
+	if !h[i].at.Equal(h[j].at) {
+		return h[i].at.Before(h[j].at)
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+// push appends ev and restores the heap property.
+func (h *eventHeap) push(ev *event) {
+	ev.index = len(*h)
+	*h = append(*h, ev)
+	h.up(ev.index)
+}
+
+// pop removes and returns the earliest event.
+func (h *eventHeap) pop() *event {
+	old := *h
+	n := len(old) - 1
+	old.swap(0, n)
+	ev := old[n]
+	old[n] = nil
+	ev.index = -1
+	*h = old[:n]
+	if n > 0 {
+		(*h).down(0)
+	}
+	return ev
+}
+
+// remove deletes the event at index i. The tail element that replaces
+// it needs to sift in exactly one direction: up when it sorts before
+// its new parent, down otherwise. Deciding with one comparison keeps
+// the invariant visible at the call site — the old shape sifted down
+// and then retried upward whenever nothing had moved, paying a wasted
+// child scan on every up-bound removal.
+func (h *eventHeap) remove(i int) {
+	old := *h
+	n := len(old) - 1
+	if i != n {
+		old.swap(i, n)
+	}
+	old[n].index = -1
+	old[n] = nil
+	*h = old[:n]
+	if i < n {
+		if i > 0 && (*h).less(i, (i-1)/2) {
+			(*h).up(i)
+		} else {
+			(*h).down(i)
+		}
+	}
+}
+
+func (h eventHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+// down reports whether the element moved.
+func (h eventHeap) down(i0 int) bool {
+	i, n := i0, len(h)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		j := left
+		if right := left + 1; right < n && h.less(right, left) {
+			j = right
+		}
+		if !h.less(j, i) {
+			break
+		}
+		h.swap(i, j)
+		i = j
+	}
+	return i > i0
+}

@@ -1,0 +1,109 @@
+package vclock
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// SchedulerKind selects the pending-event structure behind a Virtual
+// clock. Both schedulers fire events in identical (at, seq) order, so a
+// simulation's output is byte-for-byte the same under either; the wheel
+// is the default because post/stop are O(1) instead of O(log n), which
+// is what million-timer populations need.
+type SchedulerKind int32
+
+const (
+	// SchedulerWheel is the hierarchical timing wheel: wheelLevels
+	// levels of wheelSlots slots over the virtual-time axis, intrusive
+	// per-slot event lists, O(1) post and stop, cascading on rollover.
+	SchedulerWheel SchedulerKind = iota
+	// SchedulerHeap is the binary (at, seq) min-heap the engine used
+	// before the wheel. It is retained for differential testing: run the
+	// same seed under both kinds and the outputs must match exactly.
+	SchedulerHeap
+)
+
+func (k SchedulerKind) String() string {
+	switch k {
+	case SchedulerWheel:
+		return "wheel"
+	case SchedulerHeap:
+		return "heap"
+	}
+	return fmt.Sprintf("SchedulerKind(%d)", int32(k))
+}
+
+// ParseSchedulerKind parses "wheel" or "heap" (the -sched flag values).
+func ParseSchedulerKind(s string) (SchedulerKind, error) {
+	switch s {
+	case "wheel":
+		return SchedulerWheel, nil
+	case "heap":
+		return SchedulerHeap, nil
+	}
+	return 0, fmt.Errorf("vclock: unknown scheduler %q (want wheel or heap)", s)
+}
+
+// defaultSched is the kind new Virtual clocks start with. Atomic so a
+// test can flip it while parallel replications construct clocks.
+var defaultSched atomic.Int32 // SchedulerKind; zero value = SchedulerWheel
+
+// SetDefaultScheduler sets the scheduler kind used by clocks created
+// after the call and returns the previous default. Existing clocks are
+// unaffected; use (*Virtual).SetScheduler for those.
+func SetDefaultScheduler(k SchedulerKind) SchedulerKind {
+	return SchedulerKind(defaultSched.Swap(int32(k)))
+}
+
+// DefaultSchedulerKind reports the kind new clocks will use.
+func DefaultSchedulerKind() SchedulerKind {
+	return SchedulerKind(defaultSched.Load())
+}
+
+// evScheduler is the pending-event set of one Virtual clock. Callers
+// hold the clock mutex. push and remove take the event itself (events
+// carry their own location: heap index or wheel slot links); pop
+// returns the (at, seq)-minimal event and must only be called when
+// size() > 0.
+type evScheduler interface {
+	push(ev *event)
+	pop() *event
+	remove(ev *event)
+	size() int
+}
+
+// newScheduler builds a scheduler of the given kind. curNS is the
+// clock's current offset from its base instant; the wheel needs it so
+// deltas of events pushed right after construction are measured from
+// now rather than from the clock's birth.
+func newScheduler(k SchedulerKind, curNS int64) evScheduler {
+	if k == SchedulerHeap {
+		return &heapSched{}
+	}
+	return newWheelSched(curNS)
+}
+
+// SetScheduler switches this clock to the given scheduler kind,
+// migrating any pending events. Safe mid-run: events are drained from
+// the old structure in fire order and re-filed, so ordering and every
+// outstanding Pending/Timer handle survive the switch.
+func (v *Virtual) SetScheduler(k SchedulerKind) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.kind == k {
+		return
+	}
+	old := v.sched
+	v.sched = newScheduler(k, v.offNS.Load())
+	v.kind = k
+	for old.size() > 0 {
+		v.sched.push(old.pop())
+	}
+}
+
+// Scheduler reports which scheduler kind this clock is running on.
+func (v *Virtual) Scheduler() SchedulerKind {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.kind
+}

@@ -23,7 +23,8 @@ type Virtual struct {
 	mu      sync.Mutex
 	now     time.Time
 	seq     uint64
-	events  eventHeap
+	sched   evScheduler // pending events: timing wheel or heap fallback
+	kind    SchedulerKind
 	running int
 	stopped bool
 	free    []*event // event freelist, guarded by mu
@@ -56,9 +57,20 @@ const (
 )
 
 type event struct {
-	at    time.Time
-	seq   uint64
-	index int // heap index; -1 when popped or cancelled
+	at time.Time
+	// atNS is at expressed as nanoseconds since the clock's base
+	// instant: the integer time axis the timing wheel indexes by. It is
+	// exactly at.Sub(base), so (atNS, seq) order equals (at, seq) order.
+	atNS int64
+	seq  uint64
+	// index is the heap position under SchedulerHeap; under the wheel
+	// it is 0 while queued. Both schedulers set it to -1 when the event
+	// pops or is removed, which is what stopEvent keys off.
+	index int
+	// next/prev/slot are the timing wheel's intrusive slot-list links
+	// and location code (level<<wheelSlotBits | slot, or overflowSlot).
+	next, prev *event
+	slot       int32
 	// gen guards Pending handles against freelist reuse: a handle whose
 	// generation no longer matches refers to a recycled event.
 	gen  uint64
@@ -69,99 +81,10 @@ type event struct {
 	w    *waiter
 }
 
-// eventHeap is a binary min-heap ordered by (at, seq). The sift routines
-// are hand-rolled rather than going through container/heap: the event
-// heap is the single hottest data structure in a simulation and the
-// interface-based API costs an indirect call per comparison and swap.
-type eventHeap []*event
-
-func (h eventHeap) less(i, j int) bool {
-	if !h[i].at.Equal(h[j].at) {
-		return h[i].at.Before(h[j].at)
-	}
-	return h[i].seq < h[j].seq
-}
-
-func (h eventHeap) swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-
-// push appends ev and restores the heap property.
-func (h *eventHeap) push(ev *event) {
-	ev.index = len(*h)
-	*h = append(*h, ev)
-	h.up(ev.index)
-}
-
-// pop removes and returns the earliest event.
-func (h *eventHeap) pop() *event {
-	old := *h
-	n := len(old) - 1
-	old.swap(0, n)
-	ev := old[n]
-	old[n] = nil
-	ev.index = -1
-	*h = old[:n]
-	if n > 0 {
-		(*h).down(0)
-	}
-	return ev
-}
-
-// remove deletes the event at index i.
-func (h *eventHeap) remove(i int) {
-	old := *h
-	n := len(old) - 1
-	if i != n {
-		old.swap(i, n)
-	}
-	old[n].index = -1
-	old[n] = nil
-	*h = old[:n]
-	if i < n {
-		if !(*h).down(i) {
-			(*h).up(i)
-		}
-	}
-}
-
-func (h eventHeap) up(i int) {
-	for i > 0 {
-		parent := (i - 1) / 2
-		if !h.less(i, parent) {
-			break
-		}
-		h.swap(i, parent)
-		i = parent
-	}
-}
-
-// down reports whether the element moved.
-func (h eventHeap) down(i0 int) bool {
-	i, n := i0, len(h)
-	for {
-		left := 2*i + 1
-		if left >= n {
-			break
-		}
-		j := left
-		if right := left + 1; right < n && h.less(right, left) {
-			j = right
-		}
-		if !h.less(j, i) {
-			break
-		}
-		h.swap(i, j)
-		i = j
-	}
-	return i > i0
-}
-
 // NewVirtual returns a virtual clock whose time starts at start.
 func NewVirtual(start time.Time) *Virtual {
-	return &Virtual{now: start, base: start}
+	kind := DefaultSchedulerKind()
+	return &Virtual{now: start, base: start, kind: kind, sched: newScheduler(kind, 0)}
 }
 
 // Epoch is the default start instant for simulations: an arbitrary fixed
@@ -250,7 +173,7 @@ func (v *Virtual) Sleep(d time.Duration) {
 	v.mu.Lock()
 	ev := v.getEventLocked(d, evWake)
 	ev.w = w
-	v.events.push(ev)
+	v.sched.push(ev)
 	v.running--
 	v.maybeAdvanceLocked()
 	v.mu.Unlock()
@@ -269,7 +192,7 @@ func (v *Virtual) AfterFunc(d time.Duration, fn func()) *Timer {
 	defer v.mu.Unlock()
 	ev := v.getEventLocked(d, evGo)
 	ev.fn = fn
-	v.events.push(ev)
+	v.sched.push(ev)
 	return &Timer{p: Pending{v: v, ev: ev, gen: ev.gen}}
 }
 
@@ -285,7 +208,7 @@ func (v *Virtual) Post(d time.Duration, fn func()) Pending {
 	defer v.mu.Unlock()
 	ev := v.getEventLocked(d, evPost)
 	ev.fn = fn
-	v.events.push(ev)
+	v.sched.push(ev)
 	return Pending{v: v, ev: ev, gen: ev.gen}
 }
 
@@ -300,13 +223,13 @@ func (v *Virtual) Post2(d time.Duration, fn func(a, b any), a, b any) Pending {
 	defer v.mu.Unlock()
 	ev := v.getEventLocked(d, evPost2)
 	ev.fn2, ev.a, ev.b = fn, a, b
-	v.events.push(ev)
+	v.sched.push(ev)
 	return Pending{v: v, ev: ev, gen: ev.gen}
 }
 
 // getEventLocked takes an event from the freelist (or allocates one) and
 // stamps it with the firing time and sequence number. Callers hold v.mu
-// and must push it onto the heap.
+// and must push it onto the scheduler.
 func (v *Virtual) getEventLocked(d time.Duration, kind eventKind) *event {
 	var ev *event
 	if n := len(v.free); n > 0 {
@@ -318,6 +241,7 @@ func (v *Virtual) getEventLocked(d time.Duration, kind eventKind) *event {
 	}
 	v.seq++
 	ev.at = v.now.Add(d)
+	ev.atNS = v.offNS.Load() + int64(d)
 	ev.seq = v.seq
 	ev.kind = kind
 	return ev
@@ -341,7 +265,7 @@ func (v *Virtual) stopEvent(ev *event, gen uint64) bool {
 	if ev.gen != gen || ev.index < 0 {
 		return false
 	}
-	v.events.remove(ev.index)
+	v.sched.remove(ev)
 	v.putEventLocked(ev)
 	return true
 }
@@ -350,14 +274,14 @@ func (v *Virtual) stopEvent(ev *event, gen uint64) bool {
 // runnable. Callers hold v.mu.
 func (v *Virtual) maybeAdvanceLocked() {
 	for v.running == 0 && !v.stopped {
-		if len(v.events) == 0 {
+		if v.sched.size() == 0 {
 			// Release the mutex before panicking so deferred cleanup in
 			// callers (e.g. Run) can still acquire it while unwinding.
 			now := v.now
 			v.mu.Unlock()
 			panic(fmt.Sprintf("vclock: deadlock at %s: all goroutines parked and no timers pending", now.Format(time.RFC3339Nano)))
 		}
-		ev := v.events.pop()
+		ev := v.sched.pop()
 		if ev.at.After(v.now) {
 			v.now = ev.at
 			v.offNS.Store(int64(v.now.Sub(v.base)))

@@ -1,0 +1,246 @@
+package vclock
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// runBoth runs fn under a fresh clock per scheduler kind and returns
+// the two recorded traces for comparison.
+func runBoth(fn func(v *Virtual, log *[]string)) (wheel, heap []string) {
+	for _, kind := range []SchedulerKind{SchedulerWheel, SchedulerHeap} {
+		v := New()
+		v.SetScheduler(kind)
+		var log []string
+		v.Run(func() { fn(v, &log) })
+		if kind == SchedulerWheel {
+			wheel = log
+		} else {
+			heap = log
+		}
+	}
+	return wheel, heap
+}
+
+func diffTraces(t *testing.T, wheel, heap []string) {
+	t.Helper()
+	if len(wheel) != len(heap) {
+		t.Fatalf("trace lengths differ: wheel %d, heap %d", len(wheel), len(heap))
+	}
+	for i := range wheel {
+		if wheel[i] != heap[i] {
+			t.Fatalf("traces diverge at %d: wheel %q, heap %q", i, wheel[i], heap[i])
+		}
+	}
+}
+
+// TestWheelHeapDifferential replays a seeded random schedule of
+// Post/Post2/Stop/AfterFunc/Sleep against both schedulers and asserts
+// the fire order (and every Stop outcome) is identical. The matching
+// whole-simulator check is `make sched-diff`, which diffs the full
+// `edgesim -exp all -n 5 -seed 1` output between -sched wheel and
+// -sched heap.
+func TestWheelHeapDifferential(t *testing.T) {
+	post2 := func(a, b any) {
+		log := a.(*[]string)
+		*log = append(*log, fmt.Sprintf("post2 %d", b.(int)))
+	}
+	for seed := int64(1); seed <= 5; seed++ {
+		wheel, heap := runBoth(func(v *Virtual, log *[]string) {
+			rng := NewRand(seed)
+			var pending []Pending
+			var timers []*Timer
+			// Durations spanning every wheel level plus the overflow
+			// list, with a bias toward small deltas so plenty of events
+			// collide on the same instants.
+			durs := []time.Duration{
+				0, 0, 1, 3, 250 * time.Nanosecond, 10 * time.Microsecond,
+				3 * time.Millisecond, 800 * time.Millisecond, 40 * time.Second,
+				2 * time.Hour, 100 * time.Hour,
+			}
+			for i := 0; i < 3000; i++ {
+				i := i
+				d := durs[rng.Intn(len(durs))]
+				switch rng.Intn(10) {
+				case 0, 1, 2, 3:
+					pending = append(pending, v.Post(d, func() {
+						*log = append(*log, fmt.Sprintf("post %d @%s", i, v.Now().Format(time.RFC3339Nano)))
+					}))
+				case 4, 5:
+					pending = append(pending, v.Post2(d, post2, log, i))
+				case 6:
+					timers = append(timers, v.AfterFunc(d, func() {
+						*log = append(*log, fmt.Sprintf("after %d @%s", i, v.Now().Format(time.RFC3339Nano)))
+					}))
+				case 7:
+					if len(pending) > 0 {
+						j := rng.Intn(len(pending))
+						*log = append(*log, fmt.Sprintf("stop %d -> %v", j, pending[j].Stop()))
+					}
+				case 8:
+					if len(timers) > 0 {
+						j := rng.Intn(len(timers))
+						*log = append(*log, fmt.Sprintf("tstop %d -> %v", j, timers[j].Stop()))
+					}
+				case 9:
+					v.Sleep(time.Duration(rng.Intn(int(5 * time.Second))))
+				}
+			}
+			v.Sleep(200 * time.Hour) // drain everything, overflow included
+		})
+		diffTraces(t, wheel, heap)
+	}
+}
+
+// TestWheelCancelDuringCascade stops events that share a higher-level
+// slot with the timer that fires first at the same instant: the Stop
+// runs after the slot has cascaded into level 0, so it exercises
+// unlinking freshly re-filed events mid-advance.
+func TestWheelCancelDuringCascade(t *testing.T) {
+	v := New()
+	var fired []string
+	v.Run(func() {
+		var b, c, d Pending
+		// All four land 10ms out: level 3 of the wheel, same slot.
+		v.Post(10*time.Millisecond, func() {
+			fired = append(fired, "a")
+			b.Stop() // same instant, later seq: already in level 0
+			d.Stop() // 1ns later: level-0 neighbour slot
+		})
+		b = v.Post(10*time.Millisecond, func() { fired = append(fired, "b") })
+		c = v.Post(10*time.Millisecond, func() { fired = append(fired, "c") })
+		d = v.Post(10*time.Millisecond+time.Nanosecond, func() { fired = append(fired, "d") })
+		v.Sleep(20 * time.Millisecond)
+		_ = c
+	})
+	if got := fmt.Sprint(fired); got != "[a c]" {
+		t.Fatalf("fired %v, want [a c]", fired)
+	}
+}
+
+// TestWheelOverflowTimers checks timers beyond the 2^48 ns (~78h) wheel
+// horizon: they park on the overflow list, re-file when due, interleave
+// correctly with near timers, and can be stopped while parked.
+func TestWheelOverflowTimers(t *testing.T) {
+	v := New()
+	var fired []string
+	v.Run(func() {
+		v.Post(200*time.Hour, func() { fired = append(fired, "far2") })
+		v.Post(100*time.Hour, func() { fired = append(fired, "far1") })
+		drop := v.Post(150*time.Hour, func() { fired = append(fired, "dropped") })
+		v.Post(time.Second, func() { fired = append(fired, "near") })
+		if !drop.Stop() {
+			t.Error("Stop on parked overflow timer reported false")
+		}
+		start := v.Now()
+		v.Sleep(300 * time.Hour)
+		if got := v.Since(start); got != 300*time.Hour {
+			t.Errorf("slept %v, want 300h", got)
+		}
+	})
+	if got := fmt.Sprint(fired); got != "[near far1 far2]" {
+		t.Fatalf("fired %v, want [near far1 far2]", fired)
+	}
+}
+
+// TestWheelSameInstantAcrossLevels schedules events for one shared
+// instant from different current times, so they enter the wheel at
+// different levels (and one from the overflow list) and only meet in a
+// level-0 slot after cascading. They must still fire in seq order.
+func TestWheelSameInstantAcrossLevels(t *testing.T) {
+	v := New()
+	var fired []int
+	v.Run(func() {
+		target := 90 * time.Hour // beyond the horizon at t=0
+		start := v.Now()
+		until := func() time.Duration { return target - v.Since(start) }
+		v.Post(until(), func() { fired = append(fired, 0) }) // overflow
+		v.Sleep(40 * time.Hour)
+		v.Post(until(), func() { fired = append(fired, 1) }) // high level
+		v.Sleep(50*time.Hour - 200*time.Millisecond)
+		v.Post(until(), func() { fired = append(fired, 2) }) // mid level
+		v.Sleep(200*time.Millisecond - 30*time.Microsecond)
+		v.Post(until(), func() { fired = append(fired, 3) }) // low level
+		v.Sleep(30 * time.Microsecond)
+		v.Post(0, func() { fired = append(fired, 4) }) // level 0 direct
+		v.Sleep(time.Second)
+	})
+	if got := fmt.Sprint(fired); got != "[0 1 2 3 4]" {
+		t.Fatalf("fired %v, want [0 1 2 3 4]", fired)
+	}
+}
+
+// TestWheelRevolutionAmbiguity pins the carry case: an event whose
+// delta keeps it on level l but whose absolute slot index wraps to the
+// slot the wheel's current time occupies. The wheel must read that slot
+// as one revolution ahead — not cascade it early and loop — and must
+// not let it shadow nearer slots at the same level.
+func TestWheelRevolutionAmbiguity(t *testing.T) {
+	v := New()
+	var fired []string
+	v.Run(func() {
+		// Put now at a position with nonzero low bits on several levels.
+		v.Sleep(time.Duration(0x1F3)) // cur = 0x1F3
+		// delta 0xFFFF stays on level 1; 0x1F3+0xFFFF = 0x101F2, whose
+		// level-1 slot index 0x01 equals cur's own (0x1F3>>8 = 0x01).
+		v.Post(time.Duration(0xFFFF), func() { fired = append(fired, "wrap") })
+		// A nearer level-1 event in a later slot must still fire first.
+		v.Post(time.Duration(0x300), func() { fired = append(fired, "near") })
+		v.Sleep(time.Duration(0x20000))
+	})
+	if got := fmt.Sprint(fired); got != "[near wrap]" {
+		t.Fatalf("fired %v, want [near wrap]", fired)
+	}
+}
+
+// TestWheelPendingReuseGuard is the generation-guard ABA check run
+// explicitly under the wheel: a stale Pending whose event record was
+// recycled for a new timer must not cancel the new timer.
+func TestWheelPendingReuseGuard(t *testing.T) {
+	v := New()
+	v.SetScheduler(SchedulerWheel)
+	v.Run(func() {
+		fired := false
+		stale := v.Post(time.Millisecond, func() {})
+		v.Sleep(2 * time.Millisecond) // fires; event returns to freelist
+		fresh := v.Post(time.Millisecond, func() { fired = true })
+		if stale.Stop() {
+			t.Error("stale handle stopped a recycled event")
+		}
+		v.Sleep(2 * time.Millisecond)
+		if !fired {
+			t.Error("recycled event did not fire")
+		}
+		_ = fresh
+	})
+}
+
+// TestSetSchedulerMigratesPending switches scheduler kinds mid-run with
+// timers queued at several levels and checks that order, cancellation
+// handles, and far-future timers all survive the migration.
+func TestSetSchedulerMigratesPending(t *testing.T) {
+	v := New()
+	var fired []string
+	v.Run(func() {
+		v.Post(3*time.Second, func() { fired = append(fired, "c") })
+		v.Post(time.Millisecond, func() { fired = append(fired, "a") })
+		drop := v.Post(2*time.Second, func() { fired = append(fired, "x") })
+		v.Post(100*time.Hour, func() { fired = append(fired, "far") })
+		v.Post(time.Second, func() { fired = append(fired, "b") })
+
+		v.SetScheduler(SchedulerHeap)
+		if v.Scheduler() != SchedulerHeap {
+			t.Fatal("scheduler kind not switched")
+		}
+		v.Sleep(time.Millisecond) // fire "a" under the heap
+		v.SetScheduler(SchedulerWheel)
+		if !drop.Stop() {
+			t.Error("handle did not survive migration")
+		}
+		v.Sleep(200 * time.Hour)
+	})
+	if got := fmt.Sprint(fired); got != "[a b c far]" {
+		t.Fatalf("fired %v, want [a b c far]", fired)
+	}
+}
