@@ -58,34 +58,50 @@ bench-sim-guard:
 			-gate 'BenchmarkPacketSwitchingFanIn$$=96' \
 			-gate 'BenchmarkBulkTransfer$$=24'
 
-# bench-load runs the timer-population benchmarks: the scheduler at one
-# million pending timers (wheel vs heap, post/stop churn and firing
-# drain) and the 100k-flow open-loop load engine end to end.
+# bench-load runs the scale benchmarks: the streaming-telemetry record
+# path, the O(1) Zipf alias draw, the scheduler at one million pending
+# timers (wheel vs heap, post/stop churn and firing drain), and the
+# 250k-flow open-loop load engine end to end.
 bench-load:
+	$(GO) test -bench='BenchmarkHistRecord' -benchtime=2s -benchmem -run=^$$ ./internal/metrics/
+	$(GO) test -bench='BenchmarkZipfAlias' -benchtime=2s -benchmem -run=^$$ ./internal/testbed/
 	$(GO) test -bench='BenchmarkMillionTimers' -benchtime=2s -benchmem -run=^$$ ./internal/vclock/
 	$(GO) test -bench='BenchmarkOpenLoopLoad' -benchtime=1x -benchmem -run=^$$ .
 
-# bench-load-save archives a bench-load run (BENCH_5.json is this repo's
-# checked-in timer-wheel/load-engine baseline).
+# bench-load-save archives a bench-load run (BENCH_6.json is this repo's
+# checked-in streaming-telemetry/load-engine baseline; BENCH_5.json was
+# the pre-histogram 100k-flow record).
 bench-load-save:
-	( $(GO) test -bench='BenchmarkMillionTimers' -benchtime=2s -benchmem -run=^$$ ./internal/vclock/ ; \
+	( $(GO) test -bench='BenchmarkHistRecord' -benchtime=2s -benchmem -run=^$$ ./internal/metrics/ ; \
+	  $(GO) test -bench='BenchmarkZipfAlias' -benchtime=2s -benchmem -run=^$$ ./internal/testbed/ ; \
+	  $(GO) test -bench='BenchmarkMillionTimers' -benchtime=2s -benchmem -run=^$$ ./internal/vclock/ ; \
 	  $(GO) test -bench='BenchmarkOpenLoopLoad' -benchtime=1x -benchmem -run=^$$ . ) | \
-		$(GO) run ./cmd/benchsave BENCH_5.json
+		$(GO) run ./cmd/benchsave BENCH_6.json
 
-# bench-load-guard gates the timer-wheel hot paths and the load engine
-# on allocation counts: posting and cancelling a timer under a 1M-timer
-# population must stay allocation-free on the wheel, and one full
-# 100k-flow open-loop run must hold its measured ceiling (3.50M allocs,
-# gated with headroom). The (-\d+)?$ tail keeps the gates matching on
-# multi-core runners, where go test suffixes -GOMAXPROCS.
+# bench-load-guard gates the telemetry and timer hot paths on allocation
+# counts: recording a latency sample into the streaming histogram and
+# drawing a Zipf rank through the alias table must be allocation-free
+# (measurement must never become the load engine's bottleneck again),
+# posting and cancelling a timer under a 1M-timer population must stay
+# allocation-free on the wheel, and one full 250k-flow / 500k-arrival
+# open-loop run must hold its measured ceiling (9.21M allocs, gated with
+# headroom — telemetry contributes none of them). The (-\d+)?$ tail
+# keeps the gates matching on multi-core runners, where go test
+# suffixes -GOMAXPROCS.
 bench-load-guard:
+	$(GO) test -bench='BenchmarkHistRecord' -benchtime=1000000x -benchmem -run=^$$ ./internal/metrics/ | \
+		$(GO) run ./cmd/benchguard \
+			-gate 'BenchmarkHistRecord(-[0-9]+)?$$=0'
+	$(GO) test -bench='BenchmarkZipfAlias' -benchtime=1000000x -benchmem -run=^$$ ./internal/testbed/ | \
+		$(GO) run ./cmd/benchguard \
+			-gate 'BenchmarkZipfAlias(-[0-9]+)?$$=0'
 	$(GO) test -bench='BenchmarkMillionTimers/wheel' -benchtime=100000x -benchmem -run=^$$ ./internal/vclock/ | \
 		$(GO) run ./cmd/benchguard \
 			-gate 'BenchmarkMillionTimers/wheel/post-stop(-[0-9]+)?$$=0' \
 			-gate 'BenchmarkMillionTimers/wheel/drain(-[0-9]+)?$$=0'
 	$(GO) test -bench='BenchmarkOpenLoopLoad' -benchtime=1x -benchmem -run=^$$ . | \
 		$(GO) run ./cmd/benchguard \
-			-gate 'BenchmarkOpenLoopLoad(-[0-9]+)?$$=4200000'
+			-gate 'BenchmarkOpenLoopLoad(-[0-9]+)?$$=11000000'
 
 # fastpath-diff verifies the datapath fast path is invisible: the full
 # experiment suite must be byte-identical with the fast path on and off,

@@ -248,20 +248,23 @@ func BenchmarkScaleDispatch(b *testing.B) {
 	}
 }
 
-// BenchmarkOpenLoopLoad drives the open-loop load engine at the 100k-
-// concurrent-flow scale: a Poisson arrival process over Zipf-assigned
-// services, every flow holding FlowMemory state and a redirect pair
-// with idle timers — the pending-timer population the hierarchical
-// timing wheel serves. One iteration is one complete run (cold wave
-// plus revisits); allocs/op is gated in CI (make bench-load-guard).
+// BenchmarkOpenLoopLoad drives the open-loop load engine at the 250k-
+// concurrent-flow scale (enlarged from 100k once streaming telemetry
+// made measurement O(1) per event): a Poisson arrival process over
+// Zipf-assigned services via the O(1) alias sampler, every flow holding
+// FlowMemory state and a redirect pair with idle timers — the
+// pending-timer population the hierarchical timing wheel serves, with
+// dispatch latency streamed into a constant-memory histogram. One
+// iteration is one complete run (cold wave plus revisits); allocs/op is
+// gated in CI (make bench-load-guard).
 func BenchmarkOpenLoopLoad(b *testing.B) {
 	var res *testbed.LoadResult
 	var err error
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err = testbed.RunLoad(testbed.LoadConfig{
-			Flows: 100_000,
-			Rate:  50_000,
+			Flows: 250_000,
+			Rate:  100_000,
 			Seed:  int64(i + 1),
 		})
 		if err != nil {
@@ -272,6 +275,7 @@ func BenchmarkOpenLoopLoad(b *testing.B) {
 	b.ReportMetric(float64(res.Arrivals)/res.Wall.Seconds(), "arrivals/s-wall")
 	b.ReportMetric(simMS(res.Dispatch.Median()), "sim-ms-dispatch-p50")
 	b.ReportMetric(float64(res.Punts), "punts")
+	b.ReportMetric(float64(res.PeakHeap)/(1<<20), "peak-heap-MiB")
 }
 
 // BenchmarkTraceReplay runs a reduced end-to-end replay of the bigFlows

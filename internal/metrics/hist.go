@@ -1,0 +1,174 @@
+package metrics
+
+import (
+	"math/bits"
+	"time"
+)
+
+// Hist bucket layout. Values (duration nanoseconds) below histSubBuckets
+// are counted exactly, one bucket per nanosecond. Above that the layout
+// is log-linear in the HDR-histogram style: each power-of-two octave is
+// split into histSubBuckets linear sub-buckets, so a bucket's width is
+// at most 1/histSubBuckets of its value and any reported quantile
+// overestimates the exact sample by less than histRelErrInv⁻¹ ≈ 1.6 %.
+// The layout is fixed at compile time: every Hist has the same buckets,
+// which is what makes Merge a plain counter addition.
+const (
+	histSubBits    = 6
+	histSubBuckets = 1 << histSubBits // 64 sub-buckets per octave
+	// histBuckets covers the full non-negative int64 range:
+	// histSubBuckets exact values plus one octave of histSubBuckets
+	// sub-buckets for each exponent histSubBits..62.
+	histBuckets = histSubBuckets * (64 - histSubBits)
+	// histRelErrInv is the quantile error bound's denominator: a
+	// reported quantile q satisfies exact ≤ q < exact·(1+1/histRelErrInv)+1.
+	histRelErrInv = histSubBuckets
+)
+
+// Hist is a fixed-layout streaming histogram of durations: Record is
+// O(1) and allocation-free, memory is constant (one counter array,
+// ~29 KiB) no matter how many samples are recorded, and quantiles are
+// deterministic with a documented ≤1/64 relative overestimate. Two
+// hists always share the same bucket layout, so Merge is exact and
+// order-independent — per-replication results combine losslessly.
+//
+// Hist is the telemetry backend for the load/chaos/scale experiments,
+// where sample counts reach the millions; the paper-figure experiments
+// keep the exact Series so their tables stay byte-identical to the seed.
+// Like Series, Hist is not safe for concurrent use.
+type Hist struct {
+	Name   string
+	counts [histBuckets]int64
+	count  int64
+	sum    int64
+	min    int64
+	max    int64
+}
+
+// NewHist returns an empty named histogram.
+func NewHist(name string) *Hist { return &Hist{Name: name, min: -1} }
+
+// histIndex maps a non-negative value to its bucket.
+func histIndex(v int64) int {
+	if v < histSubBuckets {
+		return int(v)
+	}
+	exp := bits.Len64(uint64(v)) - 1
+	mant := int(uint64(v)>>(uint(exp)-histSubBits)) & (histSubBuckets - 1)
+	return (exp-histSubBits)*histSubBuckets + mant + histSubBuckets
+}
+
+// histUpper returns the largest value a bucket holds.
+func histUpper(i int) int64 {
+	if i < histSubBuckets {
+		return int64(i)
+	}
+	b := i - histSubBuckets
+	exp := uint(b/histSubBuckets) + histSubBits
+	mant := int64(b % histSubBuckets)
+	low := int64(1)<<exp + mant<<(exp-histSubBits)
+	return low + int64(1)<<(exp-histSubBits) - 1
+}
+
+// Record adds one sample. Negative durations clamp to zero.
+func (h *Hist) Record(d time.Duration) {
+	v := int64(d)
+	if v < 0 {
+		v = 0
+	}
+	h.counts[histIndex(v)]++
+	h.count++
+	h.sum += v
+	if h.min < 0 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns the number of recorded samples.
+func (h *Hist) Count() int64 { return h.count }
+
+// Median returns the 50th percentile.
+func (h *Hist) Median() time.Duration { return h.Percentile(50) }
+
+// Percentile returns the p-th percentile (nearest-rank, mirroring
+// Series.Percentile) or 0 when empty. The returned value is the upper
+// bound of the ranked sample's bucket, clamped to the exact observed
+// extremes: it never underestimates the exact percentile and
+// overestimates by less than 1/64 (1.6 %).
+func (h *Hist) Percentile(p float64) time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return time.Duration(h.min)
+	}
+	if p >= 100 {
+		return time.Duration(h.max)
+	}
+	rank := int64(p/100*float64(h.count)+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= h.count {
+		rank = h.count - 1
+	}
+	var seen int64
+	for i := 0; i < histBuckets; i++ {
+		seen += h.counts[i]
+		if seen > rank {
+			v := histUpper(i)
+			if v > h.max {
+				v = h.max
+			}
+			if v < h.min {
+				v = h.min
+			}
+			return time.Duration(v)
+		}
+	}
+	return time.Duration(h.max)
+}
+
+// Mean returns the exact arithmetic mean (the sum is tracked alongside
+// the buckets) or 0 when empty.
+func (h *Hist) Mean() time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	return time.Duration(h.sum / h.count)
+}
+
+// Min returns the exact smallest sample or 0 when empty.
+func (h *Hist) Min() time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	return time.Duration(h.min)
+}
+
+// Max returns the exact largest sample or 0 when empty.
+func (h *Hist) Max() time.Duration { return time.Duration(h.max) }
+
+// Merge folds o's samples into h. Because every Hist shares one fixed
+// bucket layout, merging is exact: any merge order of any partition of
+// the same samples yields identical counts and quantiles. Used to
+// combine per-replication histograms from parallel runs.
+func (h *Hist) Merge(o *Hist) {
+	if o == nil || o.count == 0 {
+		return
+	}
+	for i := range h.counts {
+		h.counts[i] += o.counts[i]
+	}
+	h.count += o.count
+	h.sum += o.sum
+	if h.min < 0 || (o.min >= 0 && o.min < h.min) {
+		h.min = o.min
+	}
+	if o.max > h.max {
+		h.max = o.max
+	}
+}

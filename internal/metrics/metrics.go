@@ -15,13 +15,20 @@ import (
 type Series struct {
 	Name    string
 	samples []time.Duration
+	// sorted caches an ascending copy of samples, built by the first
+	// percentile query and invalidated by Add: reporting median + p95 +
+	// p99 on one settled series costs one sort, not three.
+	sorted []time.Duration
 }
 
 // NewSeries returns an empty named series.
 func NewSeries(name string) *Series { return &Series{Name: name} }
 
 // Add appends one sample.
-func (s *Series) Add(d time.Duration) { s.samples = append(s.samples, d) }
+func (s *Series) Add(d time.Duration) {
+	s.samples = append(s.samples, d)
+	s.sorted = nil
+}
 
 // Len returns the sample count.
 func (s *Series) Len() int { return len(s.samples) }
@@ -34,13 +41,22 @@ func (s *Series) Samples() []time.Duration {
 // Median returns the 50th percentile.
 func (s *Series) Median() time.Duration { return s.Percentile(50) }
 
+// sortedSamples returns the cached ascending view, (re)building it only
+// when Add has invalidated it.
+func (s *Series) sortedSamples() []time.Duration {
+	if s.sorted == nil {
+		s.sorted = append([]time.Duration(nil), s.samples...)
+		sort.Slice(s.sorted, func(i, j int) bool { return s.sorted[i] < s.sorted[j] })
+	}
+	return s.sorted
+}
+
 // Percentile returns the p-th percentile (nearest-rank) or 0 when empty.
 func (s *Series) Percentile(p float64) time.Duration {
 	if len(s.samples) == 0 {
 		return 0
 	}
-	sorted := s.Samples()
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	sorted := s.sortedSamples()
 	if p <= 0 {
 		return sorted[0]
 	}

@@ -49,6 +49,36 @@ func TestPercentileBounds(t *testing.T) {
 	}
 }
 
+// TestPercentileCache is the sort-once regression test: after the first
+// percentile query, further quantile reads on an unchanged series must
+// not allocate (no fresh copy, no re-sort), and Add must invalidate the
+// cached order.
+func TestPercentileCache(t *testing.T) {
+	s := NewSeries("cache")
+	for i := 5000; i > 0; i-- {
+		s.Add(time.Duration(i))
+	}
+	if got := s.Percentile(100); got != 5000 { // warm the cache
+		t.Fatalf("p100 = %v", got)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if s.Median() > s.Percentile(95) || s.Percentile(95) > s.Percentile(99) {
+			t.Fatal("quantiles out of order")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("cached percentile reads allocate %.1f allocs/op, want 0", allocs)
+	}
+	s.Add(9999) // must invalidate
+	if got := s.Percentile(100); got != 9999 {
+		t.Fatalf("p100 after Add = %v, want 9999 (stale sort cache)", got)
+	}
+	// The raw sample order stays insertion order despite the sorted cache.
+	if got := s.Samples()[0]; got != 5000 {
+		t.Fatalf("Samples()[0] = %v, want 5000", got)
+	}
+}
+
 func TestMeanMinMax(t *testing.T) {
 	s := series(10, 20, 30)
 	if s.Mean() != 20 || s.Min() != 10 || s.Max() != 30 {

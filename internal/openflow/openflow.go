@@ -221,6 +221,7 @@ type Switch struct {
 	mu        sync.Mutex
 	ports     []*netem.Port
 	routes    map[netem.IP]int
+	ranges    []rangeRoute
 	defRoute  int
 	table     []*flowEntry
 	seq       uint64
@@ -335,6 +336,34 @@ func (s *Switch) AddRoute(ip netem.IP, port int) {
 	s.epoch.Add(1)
 }
 
+// rangeRoute is one NORMAL-forwarding prefix route: addresses matching
+// base under mask egress on port. Checked after the exact host routes,
+// before the default.
+type rangeRoute struct {
+	base, mask netem.IP
+	port       int
+}
+
+// AddRouteRange sets a NORMAL-forwarding route for a whole address
+// block (base/mask), consulted when no exact host route matches. One
+// entry covers an arbitrarily large population — the load engine routes
+// its entire CGNAT client block with a single range instead of one host
+// route (and one forwarding-epoch bump, which would invalidate the
+// microflow cache) per flow.
+func (s *Switch) AddRouteRange(base, mask netem.IP, port int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, r := range s.ranges {
+		if r.base == base&mask && r.mask == mask {
+			s.ranges[i].port = port
+			s.epoch.Add(1)
+			return
+		}
+	}
+	s.ranges = append(s.ranges, rangeRoute{base: base & mask, mask: mask, port: port})
+	s.epoch.Add(1)
+}
+
 // SetDefaultRoute sets the NORMAL route for unknown destinations
 // (toward the cloud).
 func (s *Switch) SetDefaultRoute(port int) {
@@ -445,6 +474,11 @@ func (s *Switch) process(pkt *netem.Packet, inPort int) {
 func (s *Switch) normalRouteLocked(ip netem.IP) int {
 	if port, ok := s.routes[ip]; ok {
 		return port
+	}
+	for _, r := range s.ranges {
+		if ip&r.mask == r.base {
+			return r.port
+		}
 	}
 	return s.defRoute
 }

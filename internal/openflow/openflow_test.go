@@ -399,3 +399,52 @@ func TestMatchWildcardWideningProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestRangeRoute pins the NORMAL-forwarding precedence with a prefix
+// route installed: exact host routes beat the range, the range beats
+// the default, non-matching addresses still take the default, and
+// installing or updating a range bumps the forwarding epoch (the
+// microflow cache and compiled paths must notice).
+func TestRangeRoute(t *testing.T) {
+	clk := vclock.New()
+	clk.Run(func() {
+		env := newOFEnv(clk)
+		sw := env.sw
+		base, mask := netem.ParseIP("100.64.0.0"), netem.ParseIP("255.192.0.0")
+		before := sw.PathEpoch()
+		sw.AddRouteRange(base, mask, 3)
+		if sw.PathEpoch() == before {
+			t.Fatal("AddRouteRange did not bump the forwarding epoch")
+		}
+		sw.mu.Lock()
+		defer sw.mu.Unlock()
+		if got := sw.normalRouteLocked(base + 12345); got != 3 {
+			t.Fatalf("in-range address routed to %d, want range port 3", got)
+		}
+		if got := sw.normalRouteLocked(netem.ParseIP("100.127.255.255")); got != 3 {
+			t.Fatalf("last in-range address routed to %d, want 3", got)
+		}
+		if got := sw.normalRouteLocked(netem.ParseIP("100.128.0.0")); got != 2 {
+			t.Fatalf("out-of-range address routed to %d, want default 2", got)
+		}
+		if got := sw.normalRouteLocked(env.client.IP()); got != 1 {
+			t.Fatalf("exact host route returned %d, want 1", got)
+		}
+		// An exact route inside the block wins over the range.
+		sw.routes[base+7] = 2
+		if got := sw.normalRouteLocked(base + 7); got != 2 {
+			t.Fatalf("exact route inside range returned %d, want 2", got)
+		}
+		// Re-adding the same block updates in place instead of stacking.
+		n := len(sw.ranges)
+		sw.mu.Unlock()
+		sw.AddRouteRange(base, mask, 1)
+		sw.mu.Lock()
+		if len(sw.ranges) != n {
+			t.Fatalf("duplicate range stacked: %d entries, want %d", len(sw.ranges), n)
+		}
+		if got := sw.normalRouteLocked(base + 12345); got != 1 {
+			t.Fatalf("updated range routed to %d, want 1", got)
+		}
+	})
+}

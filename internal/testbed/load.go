@@ -1,7 +1,7 @@
 package testbed
 
 import (
-	"math"
+	"runtime"
 	"sync"
 	"time"
 
@@ -94,9 +94,13 @@ type LoadResult struct {
 	Arrivals int
 	// Punts counts arrivals that reached the controller (no switch flow
 	// matched) and were answered with a PacketOut; Dispatch holds their
-	// punt-to-release latencies.
+	// punt-to-release latencies in a streaming histogram, so the
+	// latency-recording memory is a fixed ~29 KiB however many arrivals
+	// the run injects (quantiles carry the histogram's documented ≤1/64
+	// relative bin error; exact Series remain the backend for the
+	// paper-figure experiments).
 	Punts    int
-	Dispatch *metrics.Series
+	Dispatch *metrics.Hist
 	// VirtualDuration is the simulated span of the arrival process.
 	VirtualDuration time.Duration
 	// Wall is the host time the injection loop took — throughput
@@ -111,6 +115,11 @@ type LoadResult struct {
 	// addresses) absorbed by the injection host — the expected fate of
 	// every reply, since synthetic flows have no TCP state.
 	DroppedReplies int64
+	// PeakHeap is the largest live-heap size (runtime.MemStats.HeapAlloc)
+	// sampled during the injection loop — the scale regression signal.
+	// Host- and GC-dependent: reported on stderr, never part of the
+	// deterministic output.
+	PeakHeap uint64
 }
 
 // loadFlowBase is the first synthetic client address: the CGNAT block
@@ -118,12 +127,25 @@ type LoadResult struct {
 // can never collide with clients, infrastructure, or service addresses.
 var loadFlowBase = netem.ParseIP("100.64.0.0")
 
+// loadFlowMask is the CGNAT block's /10 network mask: one range route
+// covers every synthetic source the engine can ever mint.
+var loadFlowMask = netem.ParseIP("255.192.0.0")
+
 // loadInjectPort is the switch port synthetic flow addresses route to.
-// Giving every flow an explicit route matters: the main switch default-
-// routes unknown destinations to the cloud uplink and the cloud router
-// default-routes them back, so a reply to an unrouted synthetic address
-// would ping-pong on that link forever.
+// Routing the flows matters: the main switch default-routes unknown
+// destinations to the cloud uplink and the cloud router default-routes
+// them back, so a reply to an unrouted synthetic address would
+// ping-pong on that link forever. The whole block is routed by a single
+// range entry — a per-flow host route would cost a map entry and a
+// microflow-cache-invalidating epoch bump per debut, which at millions
+// of flows is exactly the kind of measurement overhead this engine
+// exists to avoid.
 const loadInjectPort = 1
+
+// loadHeapSampleEvery is the injection-loop interval between
+// runtime.MemStats peak-heap samples. ReadMemStats stops the world, so
+// it must stay far off the per-arrival path.
+const loadHeapSampleEvery = 1 << 16
 
 // RunLoad drives the open-loop Poisson/Zipf arrival process against a
 // pre-deployed testbed. Per-flow state is two flat arrays (service
@@ -138,7 +160,7 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 	cfg = cfg.withDefaults()
 	res := &LoadResult{
 		Config:          cfg,
-		Dispatch:        metrics.NewSeries("punt-dispatch"),
+		Dispatch:        metrics.NewHist("punt-dispatch"),
 		ServiceArrivals: make([]int, cfg.Services),
 	}
 	clk := vclock.New()
@@ -182,7 +204,12 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 		sw := tb.Switch
 		inPort := sw.Port(loadInjectPort)
 		rng := vclock.NewRand(cfg.Seed + 97)
-		cdf := zipfCDF(cfg.Services, cfg.ZipfS)
+		// O(1) per-draw service assignment: the CDF-aligned alias table
+		// (binary-search inversion as the fallback) consumes one uniform
+		// per draw, same stream and same rank as the old CDF scan.
+		smp := newZipfSampler(zipfCDF(cfg.Services, cfg.ZipfS))
+		// One range route covers the whole CGNAT flow block.
+		sw.AddRouteRange(loadFlowBase, loadFlowMask, loadInjectPort)
 
 		// Compact per-flow state: the service each flow talks to
 		// (assigned on first arrival), nothing else.
@@ -203,9 +230,17 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 			lat := clk.Now().Sub(start) - sent
 			mu.Lock()
 			punts++
-			res.Dispatch.Add(lat)
+			res.Dispatch.Record(lat)
 			mu.Unlock()
 		})
+
+		var ms runtime.MemStats
+		sampleHeap := func() {
+			runtime.ReadMemStats(&ms)
+			if ms.HeapAlloc > res.PeakHeap {
+				res.PeakHeap = ms.HeapAlloc
+			}
+		}
 
 		total := cfg.Flows + int(float64(cfg.Flows)*cfg.Revisits+0.5)
 		wallStart := time.Now()
@@ -224,9 +259,8 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 			}
 			si := svcOf[flow]
 			if si < 0 {
-				si = int32(zipfPick(cdf, rng.Float64()))
+				si = int32(smp.pick(rng.Float64()))
 				svcOf[flow] = si
-				sw.AddRoute(loadFlowBase+netem.IP(flow), loadInjectPort)
 			}
 			res.ServiceArrivals[si]++
 			ns := uint64(clk.Now().Sub(start))
@@ -237,10 +271,14 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 			pkt.Seq = uint32(ns >> 32)
 			pkt.Ack = uint32(ns)
 			sw.HandlePacket(pkt, inPort)
+			if k%loadHeapSampleEvery == 0 {
+				sampleHeap()
+			}
 		}
 		res.Arrivals = total
 		res.VirtualDuration = clk.Since(start)
 		res.Wall = time.Since(wallStart)
+		sampleHeap()
 
 		// Settle: let held punts, packet-outs, and reply RSTs drain
 		// before snapshotting.
@@ -256,30 +294,4 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 		return nil, runErr
 	}
 	return res, nil
-}
-
-// zipfCDF precomputes the cumulative Zipf distribution over n ranks
-// with exponent s: weight(r) ∝ 1/(r+1)^s.
-func zipfCDF(n int, s float64) []float64 {
-	cdf := make([]float64, n)
-	sum := 0.0
-	for r := 0; r < n; r++ {
-		sum += 1 / math.Pow(float64(r+1), s)
-		cdf[r] = sum
-	}
-	for r := range cdf {
-		cdf[r] /= sum
-	}
-	return cdf
-}
-
-// zipfPick maps a uniform draw through the CDF (n is small: linear
-// scan).
-func zipfPick(cdf []float64, u float64) int {
-	for r, c := range cdf {
-		if u < c {
-			return r
-		}
-	}
-	return len(cdf) - 1
 }

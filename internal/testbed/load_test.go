@@ -14,7 +14,7 @@ func loadFingerprint(t *testing.T, res *LoadResult) []int64 {
 	fp := []int64{
 		int64(res.Arrivals),
 		int64(res.Punts),
-		int64(res.Dispatch.Len()),
+		res.Dispatch.Count(),
 		int64(res.Dispatch.Median()),
 		int64(res.Dispatch.Percentile(99)),
 		int64(res.VirtualDuration),
@@ -113,8 +113,11 @@ func TestLoadRegimes(t *testing.T) {
 	if res.Stats.CloudForwards != 0 {
 		t.Fatalf("cloud forwards = %d, want 0 (every service pre-deployed)", res.Stats.CloudForwards)
 	}
-	if res.Dispatch.Len() != res.Punts {
-		t.Fatalf("dispatch samples = %d, want = punts (%d)", res.Dispatch.Len(), res.Punts)
+	if res.Dispatch.Count() != int64(res.Punts) {
+		t.Fatalf("dispatch samples = %d, want = punts (%d)", res.Dispatch.Count(), res.Punts)
+	}
+	if res.PeakHeap == 0 {
+		t.Fatal("peak heap not sampled")
 	}
 	// Replies to synthetic sources must terminate at the injection host:
 	// one RST per arrival, except deduplicated punts (their held packet
