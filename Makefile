@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet check bench bench-scale bench-save bench-sim bench-sim-save bench-sim-guard bench-load bench-load-save bench-load-guard fastpath-diff sched-diff chaos-check
+.PHONY: build test race vet check bench bench-scale bench-save bench-sim bench-sim-save bench-sim-guard bench-load bench-load-save bench-load-guard fastpath-diff sched-diff shard-diff chaos-check
 
 build:
 	$(GO) build ./...
@@ -60,34 +60,40 @@ bench-sim-guard:
 
 # bench-load runs the scale benchmarks: the streaming-telemetry record
 # path, the O(1) Zipf alias draw, the scheduler at one million pending
-# timers (wheel vs heap, post/stop churn and firing drain), and the
-# 250k-flow open-loop load engine end to end.
+# timers (wheel vs heap, post/stop churn and firing drain), the
+# windowed shard-barrier round trip, and the 250k-flow open-loop load
+# engine end to end — sequential and sharded four ways.
 bench-load:
 	$(GO) test -bench='BenchmarkHistRecord' -benchtime=2s -benchmem -run=^$$ ./internal/metrics/
 	$(GO) test -bench='BenchmarkZipfAlias' -benchtime=2s -benchmem -run=^$$ ./internal/testbed/
 	$(GO) test -bench='BenchmarkMillionTimers' -benchtime=2s -benchmem -run=^$$ ./internal/vclock/
+	$(GO) test -bench='BenchmarkShardBarrier' -benchtime=2s -benchmem -run=^$$ ./internal/vclock/
 	$(GO) test -bench='BenchmarkOpenLoopLoad' -benchtime=1x -benchmem -run=^$$ .
 
-# bench-load-save archives a bench-load run (BENCH_6.json is this repo's
-# checked-in streaming-telemetry/load-engine baseline; BENCH_5.json was
-# the pre-histogram 100k-flow record).
+# bench-load-save archives a bench-load run (BENCH_7.json is this repo's
+# checked-in sharded-engine baseline, taken at GOMAXPROCS=4 — read it
+# with the archived gomaxprocs/numcpu fields; BENCH_6.json was the
+# pre-sharding streaming-telemetry record).
 bench-load-save:
 	( $(GO) test -bench='BenchmarkHistRecord' -benchtime=2s -benchmem -run=^$$ ./internal/metrics/ ; \
 	  $(GO) test -bench='BenchmarkZipfAlias' -benchtime=2s -benchmem -run=^$$ ./internal/testbed/ ; \
 	  $(GO) test -bench='BenchmarkMillionTimers' -benchtime=2s -benchmem -run=^$$ ./internal/vclock/ ; \
+	  $(GO) test -bench='BenchmarkShardBarrier' -benchtime=2s -benchmem -run=^$$ ./internal/vclock/ ; \
 	  $(GO) test -bench='BenchmarkOpenLoopLoad' -benchtime=1x -benchmem -run=^$$ . ) | \
-		$(GO) run ./cmd/benchsave BENCH_6.json
+		$(GO) run ./cmd/benchsave BENCH_7.json
 
 # bench-load-guard gates the telemetry and timer hot paths on allocation
 # counts: recording a latency sample into the streaming histogram and
 # drawing a Zipf rank through the alias table must be allocation-free
 # (measurement must never become the load engine's bottleneck again),
 # posting and cancelling a timer under a 1M-timer population must stay
-# allocation-free on the wheel, and one full 250k-flow / 500k-arrival
-# open-loop run must hold its measured ceiling (9.21M allocs, gated with
-# headroom — telemetry contributes none of them). The (-\d+)?$ tail
-# keeps the gates matching on multi-core runners, where go test
-# suffixes -GOMAXPROCS.
+# allocation-free on the wheel, one windowed shard-barrier round trip
+# (Send2 + merge + block/resume) must be allocation-free in steady
+# state, and one full 250k-flow / 500k-arrival open-loop run must hold
+# its measured ceiling sequential and sharded (9.21M and 9.24M allocs,
+# gated with headroom — telemetry and the barrier contribute none of
+# them). The (-\d+)?$ tail keeps the gates matching on multi-core
+# runners, where go test suffixes -GOMAXPROCS.
 bench-load-guard:
 	$(GO) test -bench='BenchmarkHistRecord' -benchtime=1000000x -benchmem -run=^$$ ./internal/metrics/ | \
 		$(GO) run ./cmd/benchguard \
@@ -99,9 +105,29 @@ bench-load-guard:
 		$(GO) run ./cmd/benchguard \
 			-gate 'BenchmarkMillionTimers/wheel/post-stop(-[0-9]+)?$$=0' \
 			-gate 'BenchmarkMillionTimers/wheel/drain(-[0-9]+)?$$=0'
+	$(GO) test -bench='BenchmarkShardBarrier' -benchtime=100000x -benchmem -run=^$$ ./internal/vclock/ | \
+		$(GO) run ./cmd/benchguard \
+			-gate 'BenchmarkShardBarrier(-[0-9]+)?$$=0'
 	$(GO) test -bench='BenchmarkOpenLoopLoad' -benchtime=1x -benchmem -run=^$$ . | \
 		$(GO) run ./cmd/benchguard \
-			-gate 'BenchmarkOpenLoopLoad(-[0-9]+)?$$=11000000'
+			-gate 'BenchmarkOpenLoopLoad(-[0-9]+)?$$=11000000' \
+			-gate 'BenchmarkOpenLoopLoadSharded(-[0-9]+)?$$=11000000'
+
+# shard-diff verifies sharded execution is invisible: the load
+# experiment's stdout — fingerprint row included — must be byte-
+# identical whether the run is sequential or service-partitioned across
+# 2, 4, or 8 clocks. Only stdout is compared: wall-clock, peak heap,
+# and the shard count itself go to stderr by design.
+shard-diff:
+	$(GO) build -o /tmp/edgesim-shdiff ./cmd/edgesim
+	/tmp/edgesim-shdiff -exp load -flows 50000 -shards 1 > /tmp/shdiff-1.txt
+	/tmp/edgesim-shdiff -exp load -flows 50000 -shards 2 > /tmp/shdiff-2.txt
+	/tmp/edgesim-shdiff -exp load -flows 50000 -shards 4 > /tmp/shdiff-4.txt
+	/tmp/edgesim-shdiff -exp load -flows 50000 -shards 8 > /tmp/shdiff-8.txt
+	diff /tmp/shdiff-1.txt /tmp/shdiff-2.txt
+	diff /tmp/shdiff-1.txt /tmp/shdiff-4.txt
+	diff /tmp/shdiff-1.txt /tmp/shdiff-8.txt
+	@echo "shard-diff: load output byte-identical across 1/2/4/8 shards"
 
 # fastpath-diff verifies the datapath fast path is invisible: the full
 # experiment suite must be byte-identical with the fast path on and off,

@@ -278,6 +278,37 @@ func BenchmarkOpenLoopLoad(b *testing.B) {
 	b.ReportMetric(float64(res.PeakHeap)/(1<<20), "peak-heap-MiB")
 }
 
+// BenchmarkOpenLoopLoadSharded is the sharded twin of
+// BenchmarkOpenLoopLoad: the identical 250k-flow run service-
+// partitioned across four clocks (testbed.LoadConfig.Shards). Its
+// merged result carries the same fingerprint as the sequential run —
+// TestShardFingerprintInvariance gates that — so the delta between the
+// two benchmarks is pure engine parallelism. Read it with the archived
+// gomaxprocs/numcpu fields: on a single-core host the shards time-slice
+// one CPU and the ratio measures overhead, not speedup.
+func BenchmarkOpenLoopLoadSharded(b *testing.B) {
+	var res *testbed.LoadResult
+	var err error
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err = testbed.RunLoad(testbed.LoadConfig{
+			Flows:  250_000,
+			Rate:   100_000,
+			Seed:   int64(i + 1),
+			Shards: 4,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(4, "shards")
+	b.ReportMetric(float64(res.Arrivals), "arrivals/op")
+	b.ReportMetric(float64(res.Arrivals)/res.Wall.Seconds(), "arrivals/s-wall")
+	b.ReportMetric(simMS(res.Dispatch.Median()), "sim-ms-dispatch-p50")
+	b.ReportMetric(float64(res.Punts), "punts")
+	b.ReportMetric(float64(res.PeakHeap)/(1<<20), "peak-heap-MiB")
+}
+
 // BenchmarkTraceReplay runs a reduced end-to-end replay of the bigFlows
 // workload through the complete system.
 func BenchmarkTraceReplay(b *testing.B) {

@@ -36,11 +36,16 @@ type Result struct {
 	Metrics map[string]float64 `json:"metrics"`
 }
 
-// Record is the archived run.
+// Record is the archived run. GOMAXPROCS and NumCPU pin down the
+// parallelism the numbers were taken under — a sharded-engine speedup
+// is meaningless without them (per-benchmark shard counts ride in
+// Metrics as a "shards" unit from b.ReportMetric).
 type Record struct {
 	Created    string   `json:"created"`
 	GoVersion  string   `json:"go"`
 	Host       string   `json:"host,omitempty"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	NumCPU     int      `json:"numcpu"`
 	Benchmarks []Result `json:"benchmarks"`
 	// Raw preserves the exact benchmark output for benchstat.
 	Raw []string `json:"raw"`
@@ -48,8 +53,10 @@ type Record struct {
 
 func main() {
 	rec := Record{
-		Created:   time.Now().UTC().Format(time.RFC3339),
-		GoVersion: runtime.Version(),
+		Created:    time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
 	}
 	if h, err := os.Hostname(); err == nil {
 		rec.Host = h

@@ -18,6 +18,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	rtrace "runtime/trace"
 	"time"
 
 	"github.com/c3lab/transparentedge/internal/cluster"
@@ -52,8 +53,12 @@ func main() {
 	flows := flag.Int("flows", 0, "distinct flows for -exp load (default 20000; millions supported)")
 	rate := flag.Float64("rate", 0, "mean arrivals/s for -exp load (default 5000)")
 	revisits := flag.Float64("revisits", 0, "mean extra arrivals per flow for -exp load (default 1.0)")
+	shards := flag.Int("shards", 1, "parallel shards for -exp load (1 = sequential; output is byte-identical)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	blockprofile := flag.String("blockprofile", "", "write a goroutine blocking profile to this file on exit")
+	mutexprofile := flag.String("mutexprofile", "", "write a mutex contention profile to this file on exit")
+	exectrace := flag.String("exectrace", "", "write a runtime execution trace to this file")
 	flag.Parse()
 	workers = *parallel
 	if *format == "csv" {
@@ -91,6 +96,32 @@ func main() {
 				fmt.Fprintf(os.Stderr, "edgesim: -memprofile: %v\n", err)
 				os.Exit(1)
 			}
+		}()
+	}
+	// -blockprofile and -mutexprofile are the sharded engine's
+	// diagnostics: barrier stalls show up as channel waits in the block
+	// profile, outbox contention in the mutex profile.
+	if *blockprofile != "" {
+		runtime.SetBlockProfileRate(1)
+		defer writeProfile("block", *blockprofile)
+	}
+	if *mutexprofile != "" {
+		runtime.SetMutexProfileFraction(1)
+		defer writeProfile("mutex", *mutexprofile)
+	}
+	if *exectrace != "" {
+		f, err := os.Create(*exectrace)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "edgesim: -exectrace: %v\n", err)
+			os.Exit(1)
+		}
+		if err := rtrace.Start(f); err != nil {
+			fmt.Fprintf(os.Stderr, "edgesim: -exectrace: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			rtrace.Stop()
+			f.Close()
 		}()
 	}
 
@@ -145,11 +176,25 @@ func main() {
 		fmt.Println()
 	}
 	if *exp == "load" {
-		if err := load(*flows, *rate, *revisits, *seed); err != nil {
+		if err := load(*flows, *rate, *revisits, *seed, *shards); err != nil {
 			fmt.Fprintf(os.Stderr, "edgesim: load: %v\n", err)
 			os.Exit(1)
 		}
 		fmt.Println()
+	}
+}
+
+// writeProfile dumps one named runtime profile (block, mutex) on exit.
+func writeProfile(name, path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "edgesim: -%sprofile: %v\n", name, err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if err := pprof.Lookup(name).WriteTo(f, 0); err != nil {
+		fmt.Fprintf(os.Stderr, "edgesim: -%sprofile: %v\n", name, err)
+		os.Exit(1)
 	}
 }
 
@@ -161,8 +206,14 @@ func main() {
 // numbers. Dispatch latency is recorded in the streaming histogram, so
 // a multi-million-arrival run costs constant telemetry memory and the
 // peak-heap figure tracks the system under test, not the measurement.
-func load(flows int, rate, revisits float64, seed int64) error {
-	res, err := testbed.RunLoad(testbed.LoadConfig{Flows: flows, Rate: rate, Revisits: revisits, Seed: seed})
+//
+// With -shards > 1 the run is service-partitioned across that many
+// clocks (see testbed.LoadConfig.Shards). Everything on stdout —
+// including the fingerprint row — is byte-identical to -shards 1; the
+// shard count itself goes to stderr with the other host-dependent
+// lines, which is what lets `make shard-diff` diff stdout directly.
+func load(flows int, rate, revisits float64, seed int64, shards int) error {
+	res, err := testbed.RunLoad(testbed.LoadConfig{Flows: flows, Rate: rate, Revisits: revisits, Seed: seed, Shards: shards})
 	if err != nil {
 		return err
 	}
@@ -170,6 +221,7 @@ func load(flows int, rate, revisits float64, seed int64) error {
 	fmt.Printf("Open-loop load — %d flows, %.0f arrivals/s Poisson, %d services (Zipf s=%.1f), seed %d\n",
 		cfg.Flows, cfg.Rate, cfg.Services, cfg.ZipfS, seed)
 	t := metrics.NewTable("", "metric", "value")
+	t.AddRow("fingerprint", res.Fingerprint())
 	t.AddRow("arrivals", fmt.Sprintf("%d", res.Arrivals))
 	t.AddRow("virtual span", fmt.Sprintf("%v", res.VirtualDuration.Round(time.Millisecond)))
 	t.AddRow("punts answered", fmt.Sprintf("%d", res.Punts))
@@ -185,8 +237,8 @@ func load(flows int, rate, revisits float64, seed int64) error {
 		t.AddRow(fmt.Sprintf("arrivals svc %d", i), fmt.Sprintf("%d", n))
 	}
 	emit(t)
-	fmt.Fprintf(os.Stderr, "load: %d arrivals in %v wall (%.0f arrivals/s)\n",
-		res.Arrivals, res.Wall.Round(time.Millisecond), float64(res.Arrivals)/res.Wall.Seconds())
+	fmt.Fprintf(os.Stderr, "load: %d arrivals in %v wall (%.0f arrivals/s, %d shard(s))\n",
+		res.Arrivals, res.Wall.Round(time.Millisecond), float64(res.Arrivals)/res.Wall.Seconds(), cfg.Shards)
 	fmt.Fprintf(os.Stderr, "load: peak heap %.1f MiB\n", float64(res.PeakHeap)/(1<<20))
 	return nil
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"reflect"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -254,6 +255,23 @@ type Stats struct {
 	// ChannelDrops sums control-channel messages lost to injected
 	// faults across all managed switches.
 	ChannelDrops int64
+}
+
+// Add returns the field-wise sum of two snapshots. Every counter is
+// monotonic and per-event, so summing per-shard controller snapshots
+// yields the whole-run accounting — the reflection walk keeps the merge
+// complete as fields are added (and trips loudly if a non-counter field
+// ever lands here).
+func (s Stats) Add(o Stats) Stats {
+	sv, ov := reflect.ValueOf(&s).Elem(), reflect.ValueOf(&o).Elem()
+	for i := 0; i < sv.NumField(); i++ {
+		f := sv.Field(i)
+		if f.Kind() != reflect.Int64 {
+			panic(fmt.Sprintf("core: Stats field %s is not an int64 counter", sv.Type().Field(i).Name))
+		}
+		f.SetInt(f.Int() + ov.Field(i).Int())
+	}
+	return s
 }
 
 // svcTables is the read-mostly service registry. Lookups on the

@@ -39,25 +39,25 @@ type statCounters struct {
 // snapshot assembles the public Stats view from the atomic counters.
 func (sc *statCounters) snapshot() Stats {
 	return Stats{
-		PacketIns:         sc.packetIns.Load(),
-		MemoryHits:        sc.memoryHits.Load(),
-		ScheduleCalls:     sc.scheduleCalls.Load(),
-		DeploysWaiting:    sc.deploysWaiting.Load(),
-		DeploysNoWait:     sc.deploysNoWait.Load(),
-		CloudForwards:     sc.cloudForwards.Load(),
-		DeployFailures:    sc.deployFailures.Load(),
-		Pulls:             sc.pulls.Load(),
-		Creates:           sc.creates.Load(),
-		ScaleUps:          sc.scaleUps.Load(),
-		ScaleDowns:        sc.scaleDowns.Load(),
-		ScaleDownFailures: sc.scaleDownFailures.Load(),
-		Removes:           sc.removes.Load(),
-		FlowsInstalled:    sc.flowsInstalled.Load(),
-		FlowRemovedMsgs:   sc.flowRemovedMsgs.Load(),
-		Retries:           sc.retries.Load(),
-		Failovers:         sc.failovers.Load(),
-		BreakerTrips:      sc.breakerTrips.Load(),
-		BreakerRecoveries: sc.breakerRecoveries.Load(),
+		PacketIns:          sc.packetIns.Load(),
+		MemoryHits:         sc.memoryHits.Load(),
+		ScheduleCalls:      sc.scheduleCalls.Load(),
+		DeploysWaiting:     sc.deploysWaiting.Load(),
+		DeploysNoWait:      sc.deploysNoWait.Load(),
+		CloudForwards:      sc.cloudForwards.Load(),
+		DeployFailures:     sc.deployFailures.Load(),
+		Pulls:              sc.pulls.Load(),
+		Creates:            sc.creates.Load(),
+		ScaleUps:           sc.scaleUps.Load(),
+		ScaleDowns:         sc.scaleDowns.Load(),
+		ScaleDownFailures:  sc.scaleDownFailures.Load(),
+		Removes:            sc.removes.Load(),
+		FlowsInstalled:     sc.flowsInstalled.Load(),
+		FlowRemovedMsgs:    sc.flowRemovedMsgs.Load(),
+		Retries:            sc.retries.Load(),
+		Failovers:          sc.failovers.Load(),
+		BreakerTrips:       sc.breakerTrips.Load(),
+		BreakerRecoveries:  sc.breakerRecoveries.Load(),
 		HealthEvictions:    sc.healthEvictions.Load(),
 		CandidateHits:      sc.candidateHits.Load(),
 		CandidateMisses:    sc.candidateMisses.Load(),

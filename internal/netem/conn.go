@@ -100,7 +100,7 @@ func newConn(h *Host, local, remote HostPort, client bool) *Conn {
 		sendSeq:  1,
 		recvNext: 1,
 	}
-	c.inbox.Init(h.net.Clock)
+	c.inbox.Init(h.clk)
 	return c
 }
 
@@ -191,7 +191,7 @@ func (c *Conn) armSynTimer(backoff time.Duration) {
 		return
 	}
 	c.synBackoff = backoff
-	c.synTimer = c.host.net.Clock.Post2(backoff, retrySyn, c, nil)
+	c.synTimer = c.host.clk.Post2(backoff, retrySyn, c, nil)
 }
 
 func (c *Conn) sendSynAck() {
@@ -339,10 +339,10 @@ func (c *Conn) Send(payload []byte) error {
 	// Arm the retransmission timer while p is still private to this
 	// critical section, so a record visible in unacked always carries a
 	// live timer handle (the recycling rule depends on Stop's answer).
-	p.timer = c.host.net.Clock.Post2(dataRTO, retryData, c, p)
+	p.timer = c.host.clk.Post2(dataRTO, retryData, c, p)
 	clone := pkt.Clone()
 	if c.host.net.FastPathEnabled() {
-		now := c.host.net.Clock.Now()
+		now := c.host.clk.Now()
 		if c.lastSendAt.Equal(now) {
 			// Back-to-back segment within the same virtual instant:
 			// join the train. One flush event transmits the whole
@@ -350,7 +350,7 @@ func (c *Conn) Send(payload []byte) error {
 			c.train = append(c.train, clone)
 			if !c.trainArmed {
 				c.trainArmed = true
-				c.host.net.Clock.Post2(0, flushTrain, c, nil)
+				c.host.clk.Post2(0, flushTrain, c, nil)
 			}
 			c.mu.Unlock()
 			return nil
@@ -400,7 +400,7 @@ func retryData(a, b any) {
 	p.tries++
 	p.backoff *= 2
 	resend := p.pkt.Clone()
-	p.timer = c.host.net.Clock.Post2(p.backoff, retryData, c, p)
+	p.timer = c.host.clk.Post2(p.backoff, retryData, c, p)
 	c.mu.Unlock()
 	c.transmit(resend)
 }

@@ -31,6 +31,10 @@ type Host struct {
 	name string
 	ip   IP
 	nic  *Port
+	// clk is the clock this host's transport runs on: the network clock,
+	// or the shard clock after BindShards. Set before traffic flows and
+	// read-only afterwards.
+	clk vclock.Clock
 
 	mu        sync.Mutex
 	listeners map[uint16]*Listener
@@ -56,6 +60,7 @@ func newHost(n *Network, name string, ip IP) *Host {
 		net:       n,
 		name:      name,
 		ip:        ip,
+		clk:       n.Clock,
 		listeners: make(map[uint16]*Listener),
 		conns:     make(map[connKey]*Conn),
 		nextPort:  49152,
@@ -88,7 +93,7 @@ func deliverLoopback(a, b any) {
 // short-circuiting loopback traffic destined to this host itself.
 func (h *Host) send(pkt *Packet) {
 	if pkt.Dst.IP == h.ip {
-		h.net.Clock.Post2(50*time.Microsecond, deliverLoopback, pkt, h)
+		h.clk.Post2(50*time.Microsecond, deliverLoopback, pkt, h)
 		return
 	}
 	if h.net.FastPathEnabled() {
@@ -202,7 +207,7 @@ func (h *Host) Listen(port uint16) (*Listener, error) {
 	ln := &Listener{
 		host:    h,
 		port:    port,
-		backlog: vclock.NewMailbox[*Conn](h.net.Clock),
+		backlog: vclock.NewMailbox[*Conn](h.clk),
 	}
 	h.listeners[port] = ln
 	return ln, nil
@@ -234,12 +239,12 @@ func (h *Host) DialTimeout(remote HostPort, timeout time.Duration) (*Conn, error
 
 	c.startHandshake()
 	if timeout > 0 {
-		if !c.established.WaitTimeout(h.net.Clock, timeout) {
+		if !c.established.WaitTimeout(h.clk, timeout) {
 			c.fail(ErrTimeout)
 			return nil, ErrTimeout
 		}
 	} else {
-		c.established.Wait(h.net.Clock)
+		c.established.Wait(h.clk)
 	}
 	c.mu.Lock()
 	err := c.failErr

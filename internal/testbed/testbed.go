@@ -66,6 +66,13 @@ type Options struct {
 	// CandidateTTL overrides the controller's candidate-snapshot cache
 	// TTL (zero keeps the default; negative disables the cache).
 	CandidateTTL time.Duration
+	// PinAPIJitter pins the Docker daemon's API latency to its mean
+	// (jitter fraction zero). The load experiment sets it: jitter draws
+	// come from the engine's single rng in cross-service call order, the
+	// one source of virtual time a service-partitioned run cannot
+	// replay; with the draw value unused, per-call latency is identical
+	// no matter how the run is sharded.
+	PinAPIJitter bool
 	// DisableFlowMemory runs the controller without its FlowMemory
 	// (ablation).
 	DisableFlowMemory bool
@@ -248,10 +255,14 @@ func New(clk vclock.Clock, opts Options) (*Testbed, error) {
 	resolver := containerd.AppResolver(catalog.CombinedResolver{})
 
 	var clusters []cluster.Cluster
+	dockerTiming := docker.DefaultTiming()
+	if opts.PinAPIJitter {
+		dockerTiming.JitterFrac = 0
+	}
 	if opts.WithDocker {
 		tb.DockerRT = containerd.NewRuntimeWithStore(clk, opts.Seed+11, tb.EGS, ctTiming, tb.Store)
 		tb.DockerRT.SetPortBase(20000)
-		engine := docker.NewEngine(clk, opts.Seed+12, tb.DockerRT, resolver, docker.DefaultTiming())
+		engine := docker.NewEngine(clk, opts.Seed+12, tb.DockerRT, resolver, dockerTiming)
 		tb.Docker = cluster.NewDockerCluster("edge-docker", engine, tb.defaultRegistry(),
 			cluster.Location{Tier: 0, Latency: time.Millisecond})
 		clusters = append(clusters, tb.Docker)
@@ -317,7 +328,7 @@ func New(clk vclock.Clock, opts Options) (*Testbed, error) {
 		sw.AddRoute(host.IP(), farPort)
 		tb.FarEdgeRT = containerd.NewRuntime(clk, opts.Seed+30, host, ctTiming)
 		tb.FarEdgeRT.SetPortBase(20000)
-		engine := docker.NewEngine(clk, opts.Seed+31, tb.FarEdgeRT, resolver, docker.DefaultTiming())
+		engine := docker.NewEngine(clk, opts.Seed+31, tb.FarEdgeRT, resolver, dockerTiming)
 		tb.FarEdge = cluster.NewDockerCluster("edge-far", engine, tb.defaultRegistry(),
 			cluster.Location{Tier: 1, Latency: 8 * time.Millisecond})
 		clusters = append(clusters, tb.FarEdge)

@@ -1,0 +1,250 @@
+package vclock
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// shardTraceEntry is one fired event in a shard-group test: which shard
+// executed it, at what instant, with what label.
+type shardTraceEntry struct {
+	shard int
+	atNS  int64
+	label string
+}
+
+type shardTrace struct {
+	mu      sync.Mutex
+	entries []shardTraceEntry
+}
+
+func (tr *shardTrace) add(shard int, atNS int64, label string) {
+	tr.mu.Lock()
+	tr.entries = append(tr.entries, shardTraceEntry{shard, atNS, label})
+	tr.mu.Unlock()
+}
+
+// perShard returns shard i's entries in execution order.
+func (tr *shardTrace) perShard(i int) []shardTraceEntry {
+	var out []shardTraceEntry
+	for _, e := range tr.entries {
+		if e.shard == i {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// TestShardGroupWindowedDeterminism runs a two-shard ping-pong through
+// the windowed engine twice and checks (a) both runs produce identical
+// per-shard traces, (b) every cross-shard delivery lands exactly at
+// send time + delay, and (c) instants never regress within a shard.
+func TestShardGroupWindowedDeterminism(t *testing.T) {
+	const rounds = 50
+	lookahead := time.Millisecond
+
+	run := func() *shardTrace {
+		tr := &shardTrace{}
+		g := NewShardGroup(2)
+		g.SetLookahead(lookahead)
+		deliver := func(a, b any) {
+			at := a.(*shardTraceEntry)
+			tr.add(at.shard, at.atNS, at.label)
+		}
+		g.Run(func(shard int) {
+			clk := g.Shard(shard)
+			other := 1 - shard
+			for i := 0; i < rounds; i++ {
+				// Local event on our own clock.
+				tr.add(shard, clk.Now().Sub(Epoch).Nanoseconds(), fmt.Sprintf("local-%d-%d", shard, i))
+				// Cross-shard record: fires on the peer at now + 2·lookahead.
+				sendAt := clk.Now().Sub(Epoch).Nanoseconds()
+				g.Send2(shard, other, 2*lookahead, deliver,
+					&shardTraceEntry{shard: other, atNS: sendAt + int64(2*lookahead), label: fmt.Sprintf("x-%d-%d", shard, i)}, nil)
+				clk.Sleep(lookahead)
+			}
+			// Drain: give in-flight records time to land before this
+			// shard's clock stops.
+			clk.Sleep(4 * lookahead)
+		})
+		return tr
+	}
+
+	a, b := run(), run()
+	for s := 0; s < 2; s++ {
+		ea, eb := a.perShard(s), b.perShard(s)
+		if len(ea) != len(eb) {
+			t.Fatalf("shard %d: run lengths differ: %d vs %d", s, len(ea), len(eb))
+		}
+		last := int64(-1)
+		for i := range ea {
+			if ea[i] != eb[i] {
+				t.Fatalf("shard %d entry %d differs: %+v vs %+v", s, i, ea[i], eb[i])
+			}
+			if ea[i].atNS < last {
+				t.Fatalf("shard %d: time regressed at entry %d: %d after %d", s, i, ea[i].atNS, last)
+			}
+			last = ea[i].atNS
+		}
+		// Each shard executes its own locals plus the peer's records
+		// (minus any still in flight when the peer stopped — the drain
+		// sleep makes that zero here).
+		if len(ea) != 2*rounds {
+			t.Errorf("shard %d executed %d events, want %d", s, len(ea), 2*rounds)
+		}
+	}
+}
+
+// TestShardGroupCanonicalMergeOrder has two origin shards send records
+// that land on shard 0 at the same instant; the merge must order them
+// (at, originShard, originSeq), so origin 1's record always executes
+// before origin 2's, no matter which shard's outbox flushed first.
+func TestShardGroupCanonicalMergeOrder(t *testing.T) {
+	const rounds = 30
+	lookahead := time.Millisecond
+
+	var mu sync.Mutex
+	var order []string
+	g := NewShardGroup(3)
+	g.SetLookahead(lookahead)
+	record := func(a, b any) {
+		mu.Lock()
+		order = append(order, a.(string))
+		mu.Unlock()
+	}
+	g.Run(func(shard int) {
+		clk := g.Shard(shard)
+		if shard == 0 {
+			// Destination: stay alive past the last delivery.
+			clk.Sleep(time.Duration(rounds+4) * lookahead)
+			return
+		}
+		for i := 0; i < rounds; i++ {
+			// Both origins send at the same instant with the same delay:
+			// the records tie on atNS and must fall back to origin order.
+			g.Send2(shard, 0, 2*lookahead, record, fmt.Sprintf("o%d-r%d", shard, i), nil)
+			clk.Sleep(lookahead)
+		}
+	})
+
+	if len(order) != 2*rounds {
+		t.Fatalf("delivered %d records, want %d", len(order), 2*rounds)
+	}
+	for i := 0; i < rounds; i++ {
+		a, b := order[2*i], order[2*i+1]
+		wantA, wantB := fmt.Sprintf("o1-r%d", i), fmt.Sprintf("o2-r%d", i)
+		if a != wantA || b != wantB {
+			t.Fatalf("round %d delivered (%s, %s), want (%s, %s) — canonical order violated", i, a, b, wantA, wantB)
+		}
+	}
+}
+
+// TestShardGroupSend2Guards checks the two Send2 misuse panics: sending
+// with infinite lookahead (no cross-shard edges declared) and sending
+// with a delay below the lookahead.
+func TestShardGroupSend2Guards(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic", name)
+			}
+		}()
+		fn()
+	}
+	g := NewShardGroup(2)
+	mustPanic("infinite lookahead", func() {
+		g.Send2(0, 1, time.Second, func(a, b any) {}, nil, nil)
+	})
+	g2 := NewShardGroup(2)
+	g2.SetLookahead(time.Millisecond)
+	mustPanic("delay below lookahead", func() {
+		g2.Send2(0, 1, time.Microsecond, func(a, b any) {}, nil, nil)
+	})
+	mustPanic("non-positive lookahead", func() {
+		NewShardGroup(2).SetLookahead(0)
+	})
+}
+
+// TestShardGroupDeadlockPanic parks a goroutine on every shard with no
+// pending events and no records in flight: the coordinator must panic
+// (the sharded analogue of the single-clock deadlock panic).
+func TestShardGroupDeadlockPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no deadlock panic")
+		}
+	}()
+	g := NewShardGroup(2)
+	g.SetLookahead(time.Millisecond)
+	g.Run(func(shard int) {
+		NewGate().Wait(g.Shard(shard)) // parks forever
+	})
+}
+
+// TestShardGroupInfiniteLookahead runs independent shards with no
+// cross-shard edges: no barriers, fully concurrent, each clock advances
+// on its own schedule.
+func TestShardGroupInfiniteLookahead(t *testing.T) {
+	const n = 4
+	g := NewShardGroup(n)
+	spans := make([]time.Duration, n)
+	g.Run(func(shard int) {
+		clk := g.Shard(shard)
+		start := clk.Now()
+		// Different shards sleep different amounts: with no barriers
+		// nothing forces them into lockstep.
+		for i := 0; i <= shard; i++ {
+			clk.Sleep(time.Duration(i+1) * time.Millisecond)
+		}
+		spans[shard] = clk.Since(start)
+	})
+	for shard, span := range spans {
+		want := time.Duration((shard+1)*(shard+2)/2) * time.Millisecond
+		if span != want {
+			t.Errorf("shard %d advanced %v, want %v", shard, span, want)
+		}
+	}
+}
+
+// TestPostAbsPastPanics checks the lookahead-violation guard: inserting
+// an absolute-time event behind a clock's current instant must panic
+// loudly rather than silently reorder history.
+func TestPostAbsPastPanics(t *testing.T) {
+	v := New()
+	v.Run(func() {
+		v.Sleep(time.Second)
+		defer func() {
+			if recover() == nil {
+				t.Error("postAbs in the past did not panic")
+			}
+		}()
+		v.postAbs(int64(500*time.Millisecond), func(a, b any) {}, nil, nil)
+	})
+}
+
+// nopXrec is the benchmark's top-level delivery callback: using a named
+// function keeps the Send2 call allocation-free.
+func nopXrec(a, b any) {}
+
+// BenchmarkShardBarrier measures one windowed round trip per op: both
+// shards send one cross-shard record and sleep one lookahead, forcing a
+// barrier per round. Gated allocation-free in CI (make bench-load-guard)
+// — outboxes, the merge sorter, and destination events are all reused.
+func BenchmarkShardBarrier(b *testing.B) {
+	g := NewShardGroup(2)
+	lookahead := time.Millisecond
+	g.SetLookahead(lookahead)
+	b.ReportAllocs()
+	b.ResetTimer()
+	g.Run(func(shard int) {
+		clk := g.Shard(shard)
+		other := 1 - shard
+		for i := 0; i < b.N; i++ {
+			g.Send2(shard, other, 2*lookahead, nopXrec, nil, nil)
+			clk.Sleep(lookahead)
+		}
+		clk.Sleep(4 * lookahead)
+	})
+}

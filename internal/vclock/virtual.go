@@ -2,6 +2,7 @@ package vclock
 
 import (
 	"fmt"
+	"math"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -28,6 +29,18 @@ type Virtual struct {
 	running int
 	stopped bool
 	free    []*event // event freelist, guarded by mu
+
+	// Sharded execution (see ShardGroup). horizonNS is the exclusive
+	// upper bound on event firing: an event at or beyond it is parked in
+	// held and onBlock reports the stall to the group coordinator instead
+	// of firing it. math.MaxInt64 — the default — disables the bound, so
+	// standalone clocks never pay more than one comparison per event.
+	// blockSent dedupes the report: exactly one per block, reset by
+	// resume. All four are guarded by mu.
+	horizonNS int64
+	held      *event
+	onBlock   func(nextNS int64, empty bool)
+	blockSent bool
 
 	// base and offNS mirror now for lock-free reads: Now() is an atomic
 	// load instead of a mutex acquisition. Time only moves while every
@@ -84,7 +97,7 @@ type event struct {
 // NewVirtual returns a virtual clock whose time starts at start.
 func NewVirtual(start time.Time) *Virtual {
 	kind := DefaultSchedulerKind()
-	return &Virtual{now: start, base: start, kind: kind, sched: newScheduler(kind, 0)}
+	return &Virtual{now: start, base: start, kind: kind, sched: newScheduler(kind, 0), horizonNS: math.MaxInt64}
 }
 
 // Epoch is the default start instant for simulations: an arbitrary fixed
@@ -231,6 +244,12 @@ func (v *Virtual) Post2(d time.Duration, fn func(a, b any), a, b any) Pending {
 // stamps it with the firing time and sequence number. Callers hold v.mu
 // and must push it onto the scheduler.
 func (v *Virtual) getEventLocked(d time.Duration, kind eventKind) *event {
+	return v.getEventAbsLocked(v.offNS.Load()+int64(d), kind)
+}
+
+// getEventAbsLocked is getEventLocked for an absolute firing instant
+// (nanoseconds since base) — the form cross-shard records arrive in.
+func (v *Virtual) getEventAbsLocked(atNS int64, kind eventKind) *event {
 	var ev *event
 	if n := len(v.free); n > 0 {
 		ev = v.free[n-1]
@@ -240,11 +259,71 @@ func (v *Virtual) getEventLocked(d time.Duration, kind eventKind) *event {
 		ev = &event{}
 	}
 	v.seq++
-	ev.at = v.now.Add(d)
-	ev.atNS = v.offNS.Load() + int64(d)
+	ev.at = v.base.Add(time.Duration(atNS))
+	ev.atNS = atNS
 	ev.seq = v.seq
 	ev.kind = kind
 	return ev
+}
+
+// postAbs schedules a pre-bound callback at an absolute instant: the
+// entry path for cross-shard records merged at a window boundary. The
+// group coordinator calls it while the shard is quiescent, in canonical
+// record order, so the seq stamps preserve that order for same-instant
+// ties. Records addressed to a stopped shard are dropped, mirroring how
+// a stopped clock abandons its own pending events. A record in the past
+// is a lookahead violation: the conservative window invariant guarantees
+// merged events land at or beyond the receiving shard's current time.
+func (v *Virtual) postAbs(atNS int64, fn2 func(a, b any), a, b any) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.stopped {
+		return
+	}
+	if atNS < v.offNS.Load() {
+		panic(fmt.Sprintf("vclock: cross-shard event at %dns behind shard clock %dns (lookahead violation)", atNS, v.offNS.Load()))
+	}
+	ev := v.getEventAbsLocked(atNS, evPost2)
+	ev.fn2, ev.a, ev.b = fn2, a, b
+	v.sched.push(ev)
+}
+
+// setOnBlock installs the shard-group block reporter. Must be set before
+// the clock runs.
+func (v *Virtual) setOnBlock(fn func(nextNS int64, empty bool)) {
+	v.mu.Lock()
+	v.onBlock = fn
+	v.mu.Unlock()
+}
+
+// resume raises the firing horizon and drives the clock forward. Called
+// on a shard driver goroutine after the group coordinator has merged the
+// window's cross-shard records into the scheduler.
+func (v *Virtual) resume(horizonNS int64) {
+	v.mu.Lock()
+	v.horizonNS = horizonNS
+	v.blockSent = false
+	if !v.stopped {
+		v.maybeAdvanceLocked()
+	}
+	v.mu.Unlock()
+}
+
+// reportBlockedLocked tells the group coordinator this shard cannot
+// advance: its next event is at or beyond the horizon (or it has none at
+// all). Exactly one report per block — the coordinator resumes the shard
+// only after receiving it, so blockSent cannot be reset concurrently
+// with the callback. The callback runs without the mutex because it
+// sends on the coordinator channel.
+func (v *Virtual) reportBlockedLocked(nextNS int64, empty bool) {
+	if v.blockSent {
+		return
+	}
+	v.blockSent = true
+	cb := v.onBlock
+	v.mu.Unlock()
+	cb(nextNS, empty)
+	v.mu.Lock()
 }
 
 // putEventLocked recycles a fired or cancelled event. Bumping the
@@ -274,14 +353,42 @@ func (v *Virtual) stopEvent(ev *event, gen uint64) bool {
 // runnable. Callers hold v.mu.
 func (v *Virtual) maybeAdvanceLocked() {
 	for v.running == 0 && !v.stopped {
-		if v.sched.size() == 0 {
-			// Release the mutex before panicking so deferred cleanup in
-			// callers (e.g. Run) can still acquire it while unwinding.
-			now := v.now
-			v.mu.Unlock()
-			panic(fmt.Sprintf("vclock: deadlock at %s: all goroutines parked and no timers pending", now.Format(time.RFC3339Nano)))
+		ev := v.held
+		if ev == nil {
+			if v.sched.size() == 0 {
+				if v.onBlock != nil {
+					// Sharded: an idle shard is not a deadlock — another
+					// shard's window may still produce records for it. The
+					// group coordinator detects the global deadlock case.
+					v.reportBlockedLocked(0, true)
+					return
+				}
+				// Release the mutex before panicking so deferred cleanup in
+				// callers (e.g. Run) can still acquire it while unwinding.
+				now := v.now
+				v.mu.Unlock()
+				panic(fmt.Sprintf("vclock: deadlock at %s: all goroutines parked and no timers pending", now.Format(time.RFC3339Nano)))
+			}
+			ev = v.sched.pop()
+		} else if v.sched.size() > 0 {
+			// A cross-shard record merged at the barrier may precede the
+			// event held from the previous window; re-establish the
+			// minimum. At most one compare per resume: held clears below.
+			if p := v.sched.pop(); p.atNS < ev.atNS || (p.atNS == ev.atNS && p.seq < ev.seq) {
+				v.sched.push(ev)
+				ev = p
+			} else {
+				v.sched.push(p)
+			}
 		}
-		ev := v.sched.pop()
+		if ev.atNS >= v.horizonNS {
+			// Conservative bound: firing this event could race with a
+			// cross-shard delivery landing before it. Hold it and report.
+			v.held = ev
+			v.reportBlockedLocked(ev.atNS, false)
+			return
+		}
+		v.held = nil
 		if ev.at.After(v.now) {
 			v.now = ev.at
 			v.offNS.Store(int64(v.now.Sub(v.base)))

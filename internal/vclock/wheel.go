@@ -30,6 +30,9 @@ const (
 
 	// overflowSlot marks an event parked on the overflow list.
 	overflowSlot = int32(wheelLevels << wheelSlotBits)
+	// pastSlot marks an event on the behind-cursor heap (see
+	// wheelSched.past).
+	pastSlot = overflowSlot + 1
 )
 
 // wheelList is one slot's intrusive event list.
@@ -110,6 +113,16 @@ type wheelSched struct {
 	// the list one time and recompute the true minimum.
 	over    wheelList
 	overMin int64
+
+	// past holds events filed behind cur, ordered (at, seq). A lone
+	// clock never produces them — cur trails the firing point — but a
+	// sharded clock can: pop advances cur to the next local event, the
+	// horizon gate holds that event aside, and the window merge then
+	// delivers cross-shard records at earlier instants (≥ the clock's
+	// now, < cur). Every past event is strictly earlier than every
+	// wheel-resident event (cur never exceeds a queued wheel event's
+	// firing time), so pop drains this heap first without moving cur.
+	past eventHeap
 }
 
 func newWheelSched(curNS int64) *wheelSched {
@@ -126,11 +139,17 @@ func (w *wheelSched) push(ev *event) {
 
 // file places ev by its delta from cur: the level is the position of
 // the delta's top bit divided down by wheelSlotBits, the slot is the
-// corresponding bit field of the absolute firing time. delta ≥ 0 always
-// holds because events are scheduled at now+d, d ≥ 0, and cur trails
-// the clock's now.
+// corresponding bit field of the absolute firing time. A negative
+// delta — a cross-shard record merged after cur popped ahead of the
+// clock's now — goes to the past heap instead; the slot math assumes
+// delta ≥ 0.
 func (w *wheelSched) file(ev *event) {
 	delta := ev.atNS - w.cur
+	if delta < 0 {
+		ev.slot = pastSlot
+		w.past.push(ev)
+		return
+	}
 	if delta >= wheelSpan {
 		ev.slot = overflowSlot
 		if w.over.head == nil || ev.atNS < w.overMin {
@@ -156,7 +175,9 @@ func (w *wheelSched) file(ev *event) {
 // remove unlinks a queued event in O(1) — this is what makes Stop on a
 // pending timer constant-time regardless of how many are queued.
 func (w *wheelSched) remove(ev *event) {
-	if ev.slot == overflowSlot {
+	if ev.slot == pastSlot {
+		w.past.remove(ev.index)
+	} else if ev.slot == overflowSlot {
 		w.over.unlink(ev)
 		// overMin may now be stale low; see the field comment.
 	} else {
@@ -251,6 +272,14 @@ func (w *wheelSched) minHigher() (int64, int, int) {
 // them fires), re-file the overflow list whenever its minimum is due,
 // and otherwise fire the head of the earliest level-0 slot.
 func (w *wheelSched) pop() *event {
+	if len(w.past) > 0 {
+		// Behind-cursor records precede everything on the wheel; cur
+		// stays put so wheel-resident deltas keep their meaning.
+		ev := w.past.pop()
+		ev.slot = -1
+		w.n--
+		return ev
+	}
 	for {
 		t0, s0, ok0 := w.minLevel0()
 		tH, lH, sH := w.minHigher()
