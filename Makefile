@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet check bench bench-scale bench-save bench-sim bench-sim-save bench-sim-guard bench-load bench-load-save bench-load-guard fastpath-diff sched-diff shard-diff chaos-check
+.PHONY: build test race vet check bench bench-scale bench-save bench-sim bench-sim-save bench-sim-guard bench-load bench-load-save bench-load-guard bench-handover-save fastpath-diff sched-diff shard-diff seed-diff mobility-diff chaos-check
 
 build:
 	$(GO) build ./...
@@ -92,7 +92,10 @@ bench-load-save:
 # state, and one full 250k-flow / 500k-arrival open-loop run must hold
 # its measured ceiling sequential and sharded (9.21M and 9.24M allocs,
 # gated with headroom — telemetry and the barrier contribute none of
-# them). The (-\d+)?$ tail keeps the gates matching on multi-core
+# them), and one complete handover (link re-home, make-before-break
+# re-steer, route convergence, and a verified session round) must stay
+# under 64 allocs (measured 42). The (-\d+)?$ tail keeps the gates
+# matching on multi-core
 # runners, where go test suffixes -GOMAXPROCS.
 bench-load-guard:
 	$(GO) test -bench='BenchmarkHistRecord' -benchtime=1000000x -benchmem -run=^$$ ./internal/metrics/ | \
@@ -112,6 +115,16 @@ bench-load-guard:
 		$(GO) run ./cmd/benchguard \
 			-gate 'BenchmarkOpenLoopLoad(-[0-9]+)?$$=11000000' \
 			-gate 'BenchmarkOpenLoopLoadSharded(-[0-9]+)?$$=11000000'
+	$(GO) test -bench='BenchmarkHandover$$' -benchtime=200x -benchmem -run=^$$ . | \
+		$(GO) run ./cmd/benchguard \
+			-gate 'BenchmarkHandover(-[0-9]+)?$$=64'
+
+# bench-handover-save archives the handover benchmark (BENCH_8.json is
+# this repo's checked-in mobility baseline: 42 allocs per complete
+# handover, 8 ms simulated control-plane p50).
+bench-handover-save:
+	$(GO) test -bench='BenchmarkHandover$$' -benchtime=200x -benchmem -run=^$$ . | \
+		$(GO) run ./cmd/benchsave BENCH_8.json
 
 # shard-diff verifies sharded execution is invisible: the load
 # experiment's stdout — fingerprint row included — must be byte-
@@ -128,6 +141,36 @@ shard-diff:
 	diff /tmp/shdiff-1.txt /tmp/shdiff-4.txt
 	diff /tmp/shdiff-1.txt /tmp/shdiff-8.txt
 	@echo "shard-diff: load output byte-identical across 1/2/4/8 shards"
+
+# seed-diff is the golden-output gate: the canonical experiment suite
+# (-exp all -n 5 -seed 1) must be byte-identical to the committed
+# golden file, with the fast path on and off. Any intentional output
+# change must regenerate testdata/golden/exp_all_n5_seed1.txt in the
+# same commit and justify itself in review.
+seed-diff:
+	$(GO) build -o /tmp/edgesim-golden ./cmd/edgesim
+	/tmp/edgesim-golden -exp all -n 5 -seed 1 > /tmp/golden-on.txt
+	/tmp/edgesim-golden -exp all -n 5 -seed 1 -no-fastpath > /tmp/golden-off.txt
+	diff testdata/golden/exp_all_n5_seed1.txt /tmp/golden-on.txt
+	diff testdata/golden/exp_all_n5_seed1.txt /tmp/golden-off.txt
+	@echo "seed-diff: -exp all output matches the committed golden file (fast path on and off)"
+
+# mobility-diff verifies the handover subsystem is deterministic and
+# invisible to the execution knobs: the mobility experiment's output —
+# session checksum included — must be byte-identical across worker
+# counts, schedulers, and the fast path, and every session must survive
+# every handover (zero continuity breaks is asserted by the run itself
+# failing the final line otherwise).
+mobility-diff:
+	$(GO) build -o /tmp/edgesim-mob ./cmd/edgesim
+	/tmp/edgesim-mob -exp mobility -seed 1 -parallel 1 > /tmp/mob-1.txt
+	/tmp/edgesim-mob -exp mobility -seed 1 -parallel 4 > /tmp/mob-4.txt
+	/tmp/edgesim-mob -exp mobility -seed 1 -sched heap > /tmp/mob-heap.txt
+	/tmp/edgesim-mob -exp mobility -seed 1 -no-fastpath > /tmp/mob-nofp.txt
+	diff /tmp/mob-1.txt /tmp/mob-4.txt
+	diff /tmp/mob-1.txt /tmp/mob-heap.txt
+	diff /tmp/mob-1.txt /tmp/mob-nofp.txt
+	@echo "mobility-diff: mobility output byte-identical across -parallel, -sched, -no-fastpath"
 
 # fastpath-diff verifies the datapath fast path is invisible: the full
 # experiment suite must be byte-identical with the fast path on and off,

@@ -309,6 +309,69 @@ func BenchmarkOpenLoopLoadSharded(b *testing.B) {
 	b.ReportMetric(float64(res.PeakHeap)/(1<<20), "peak-heap-MiB")
 }
 
+// BenchmarkHandover measures the steady-churn handover path: one mobile
+// client with a live session ping-pongs between the two gNBs, each
+// iteration performing one complete re-home (physical link move,
+// make-before-break flow re-steering, route convergence) followed by a
+// verified request/response round on the surviving connection — so an
+// iteration that broke session continuity fails the benchmark instead
+// of mis-measuring it. allocs/op covers the full handover (Rehome's
+// link rebuild, the bundle exchanges, the FlowMemory snapshot) and is
+// gated in CI (make bench-load-guard).
+func BenchmarkHandover(b *testing.B) {
+	b.ReportAllocs()
+	var p50 time.Duration
+	clk := vclock.New()
+	clk.Run(func() {
+		tb, err := testbed.New(clk, testbed.Options{
+			TwoZones:       true,
+			MobileClients:  1,
+			SwitchFlowIdle: time.Hour,
+			MemoryIdle:     time.Hour,
+			Seed:           1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		asm, _ := catalog.ByKey("asm")
+		h, err := tb.RegisterCatalogService(asm, trace.ServiceAddr(0))
+		if err != nil {
+			b.Fatal(err)
+		}
+		tb.PrePull(h, "edge-docker")
+		if _, err := tb.Controller.PreDeploy(h.Addr, "edge-docker"); err != nil {
+			b.Fatal(err)
+		}
+		conn, err := tb.MobileClient(0).DialTimeout(h.Addr, 30*time.Second)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer conn.Close()
+		req := []byte("GET / HTTP/1.1\r\n\r\n")
+		exchange := func() {
+			if err := conn.Send(req); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := conn.RecvTimeout(30 * time.Second); err != nil {
+				b.Fatal(err)
+			}
+		}
+		exchange() // installs the redirect flows the handovers re-steer
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tb.RehomeClient(0, i%2 == 0)
+			clk.Sleep(time.Second) // let retransmissions settle
+			exchange()
+		}
+		b.StopTimer()
+		p50 = tb.Controller.HandoverLatency().Median()
+		if n := tb.Controller.Stats().ContinuityBreaks; n != 0 {
+			b.Fatalf("%d continuity breaks", n)
+		}
+	})
+	b.ReportMetric(simMS(p50), "sim-ms-handover-p50")
+}
+
 // BenchmarkTraceReplay runs a reduced end-to-end replay of the bigFlows
 // workload through the complete system.
 func BenchmarkTraceReplay(b *testing.B) {

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"github.com/c3lab/transparentedge/internal/cluster"
+	"github.com/c3lab/transparentedge/internal/metrics"
 	"github.com/c3lab/transparentedge/internal/netem"
 	"github.com/c3lab/transparentedge/internal/openflow"
 	"github.com/c3lab/transparentedge/internal/vclock"
@@ -119,6 +120,13 @@ type Config struct {
 	// registration time — the "deployed proactively" arrow of Fig. 1.
 	// The first request then finds a running instance immediately.
 	ProactiveDeploy bool
+	// MigrateOnHandover lets the handover manager follow the client with
+	// the service: when a handover lands a client in a zone whose
+	// scheduler-ranked optimal edge differs from where its instance
+	// runs, the service is deployed there in the background. Existing
+	// sessions keep their re-steered flows to the old instance; the old
+	// deployment drains through the normal idle scale-down path.
+	MigrateOnHandover bool
 	// Seed feeds deterministic jitter.
 	Seed int64
 }
@@ -252,6 +260,21 @@ type Stats struct {
 	// deployment (HoldTimeout) or exhausted every candidate and were
 	// answered by the cloud origin instead.
 	DegradedToCloud int64
+	// Handovers counts attach-point changes the handover manager
+	// processed (Controller.Handover with an actual switch change).
+	Handovers int64
+	// ReSteeredFlows counts memorized client↔service mappings whose
+	// rewrite flows were re-installed at the new gNB during handovers.
+	ReSteeredFlows int64
+	// MigratedInstances counts service migrations triggered because the
+	// new gNB's optimal edge differed from where the client's instance
+	// was running.
+	MigratedInstances int64
+	// ContinuityBreaks counts handovers whose strict-delete at the old
+	// gNB found fewer flows than expected — the old switch's state did
+	// not match the controller's, so the make-before-break guarantee was
+	// not fully upheld for that client.
+	ContinuityBreaks int64
 	// ChannelDrops sums control-channel messages lost to injected
 	// faults across all managed switches.
 	ChannelDrops int64
@@ -320,6 +343,12 @@ type Controller struct {
 	// brMu guards the per-cluster circuit breakers.
 	brMu     sync.Mutex
 	breakers map[string]*breakerState
+
+	// hoMu guards handoverLat (Hist is not safe for concurrent use).
+	hoMu sync.Mutex
+	// handoverLat is the control-plane latency of each handover: from
+	// entering Handover to the old gNB's flows strict-deleted.
+	handoverLat *metrics.Hist
 }
 
 // switchConn pairs one managed switch with its control channels.
@@ -381,6 +410,7 @@ func New(clk vclock.Clock, cfg Config) (*Controller, error) {
 		cands:       newCandCache(cfg.CandidateTTL),
 		deployments: make(map[deployKey]*deployState),
 		breakers:    make(map[string]*breakerState),
+		handoverLat: metrics.NewHist("handover"),
 	}
 	c.svc.Store(&svcTables{
 		services: make(map[netem.HostPort]*Service),

@@ -118,37 +118,7 @@ func (c *Controller) dispatchBounded(sw *openflow.Switch, svc *Service, client n
 // transition, health eviction, or registration invalidates the cache.
 func (c *Controller) dispatch(sw *openflow.Switch, svc *Service, client netem.IP) (cluster.Instance, bool) {
 	c.stats.scheduleCalls.Add(1)
-	zoneName := sw.DeviceName()
-	now := c.clk.Now()
-	candidates, cached := c.cands.get(svc.Name, zoneName, now)
-	if cached {
-		c.stats.candidateHits.Add(1)
-	} else {
-		c.stats.candidateMisses.Add(1)
-		zone := c.cfg.ZoneLatency[zoneName]
-		candidates = make([]Candidate, 0, len(c.cfg.Clusters))
-		for _, cl := range c.cfg.Clusters {
-			if !c.breakerAllows(cl.Name()) {
-				// Circuit open: the cluster keeps failing deployments, skip it
-				// until the cooldown admits a half-open probe.
-				continue
-			}
-			spec := c.specFor(svc, cl)
-			latency := cl.Location().Latency
-			if override, ok := zone[cl.Name()]; ok {
-				latency = override
-			}
-			candidates = append(candidates, Candidate{
-				Cluster:   cl,
-				Latency:   latency,
-				Instances: cl.Instances(svc.Name),
-				Created:   cl.Created(svc.Name),
-				HasImages: cl.HasImages(spec),
-				CanHost:   cl.CanHost(spec),
-			})
-		}
-		c.cands.put(svc.Name, zoneName, now, candidates)
-	}
+	candidates := c.candidatesFor(svc, sw.DeviceName())
 	decision := c.sched.Schedule(svc, client, candidates)
 
 	// BEST ≠ FAST: deploy the optimal edge in the background and switch
@@ -201,6 +171,45 @@ func (c *Controller) dispatch(sw *openflow.Switch, svc *Service, client netem.IP
 		c.stats.cloudForwards.Add(1)
 		return cluster.Instance{Addr: svc.Addr, Cluster: "origin"}, true
 	}
+}
+
+// candidatesFor gathers the scheduler candidates of one service as seen
+// from one ingress zone, serving from the per-(service, zone) snapshot
+// cache when it is fresh. Both dispatch and the handover manager's
+// migration check go through here, so they agree on what the clusters
+// look like.
+func (c *Controller) candidatesFor(svc *Service, zoneName string) []Candidate {
+	now := c.clk.Now()
+	candidates, cached := c.cands.get(svc.Name, zoneName, now)
+	if cached {
+		c.stats.candidateHits.Add(1)
+		return candidates
+	}
+	c.stats.candidateMisses.Add(1)
+	zone := c.cfg.ZoneLatency[zoneName]
+	candidates = make([]Candidate, 0, len(c.cfg.Clusters))
+	for _, cl := range c.cfg.Clusters {
+		if !c.breakerAllows(cl.Name()) {
+			// Circuit open: the cluster keeps failing deployments, skip it
+			// until the cooldown admits a half-open probe.
+			continue
+		}
+		spec := c.specFor(svc, cl)
+		latency := cl.Location().Latency
+		if override, ok := zone[cl.Name()]; ok {
+			latency = override
+		}
+		candidates = append(candidates, Candidate{
+			Cluster:   cl,
+			Latency:   latency,
+			Instances: cl.Instances(svc.Name),
+			Created:   cl.Created(svc.Name),
+			HasImages: cl.HasImages(spec),
+			CanHost:   cl.CanHost(spec),
+		})
+	}
+	c.cands.put(svc.Name, zoneName, now, candidates)
+	return candidates
 }
 
 // specFor derives the per-cluster spec: the annotation engine sets the

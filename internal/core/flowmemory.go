@@ -305,6 +305,37 @@ func (fm *FlowMemory) Entries() []Entry {
 	return out
 }
 
+// EntriesFor snapshots the memorized flows of one client, ordered by
+// service address. The handover manager re-steers from this list, and
+// the fixed order is what keeps flow installation — and hence the whole
+// run — deterministic regardless of shard iteration.
+func (fm *FlowMemory) EntriesFor(client netem.IP) []Entry {
+	var out []Entry
+	for i := range fm.shards {
+		s := &fm.shards[i]
+		s.mu.Lock()
+		for key, e := range s.entries {
+			if key.client != client || e.removed {
+				continue
+			}
+			out = append(out, Entry{
+				Client:   key.client,
+				Service:  key.service,
+				SvcName:  e.svcName,
+				Instance: e.instance,
+			})
+		}
+		s.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Service.IP != out[j].Service.IP {
+			return out[i].Service.IP < out[j].Service.IP
+		}
+		return out[i].Service.Port < out[j].Service.Port
+	})
+	return out
+}
+
 // Len reports the number of memorized flows.
 func (fm *FlowMemory) Len() int {
 	n := 0

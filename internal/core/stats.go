@@ -34,6 +34,10 @@ type statCounters struct {
 	reinstalledFlows  atomic.Int64
 	orphanFlows       atomic.Int64
 	degradedToCloud   atomic.Int64
+	handovers         atomic.Int64
+	reSteeredFlows    atomic.Int64
+	migratedInstances atomic.Int64
+	continuityBreaks  atomic.Int64
 }
 
 // snapshot assembles the public Stats view from the atomic counters.
@@ -65,5 +69,9 @@ func (sc *statCounters) snapshot() Stats {
 		ReinstalledFlows:   sc.reinstalledFlows.Load(),
 		OrphanFlowsRemoved: sc.orphanFlows.Load(),
 		DegradedToCloud:    sc.degradedToCloud.Load(),
+		Handovers:          sc.handovers.Load(),
+		ReSteeredFlows:     sc.reSteeredFlows.Load(),
+		MigratedInstances:  sc.migratedInstances.Load(),
+		ContinuityBreaks:   sc.continuityBreaks.Load(),
 	}
 }

@@ -95,11 +95,11 @@ func (n *Network) BindShards(g *vclock.ShardGroup, shardOf map[Device]int) time.
 		}
 	}
 
+	// sealed flips once the initial bind completes: links bound later
+	// (host re-homing) may not shrink the group's installed lookahead.
 	lookahead := time.Duration(0)
-	n.mu.Lock()
-	links := append([]*Link(nil), n.links...)
-	n.mu.Unlock()
-	for _, l := range links {
+	sealed := false
+	bindLink := func(l *Link) {
 		if multi && l.cfg.LossRate > 0 {
 			panic("netem: BindShards with a lossy link: loss draws would couple shards through the shared rng")
 		}
@@ -108,17 +108,27 @@ func (n *Network) BindShards(g *vclock.ShardGroup, shardOf map[Device]int) time.
 		sa, sb := shard(l.a.Dev), shard(l.b.Dev)
 		l.clkA, l.clkB = g.Shard(sa), g.Shard(sb)
 		if sa == sb {
-			continue
+			return
 		}
 		if l.cfg.Latency <= 0 {
 			panic(fmt.Sprintf("netem: zero-latency link between %q and %q crosses shards %d/%d",
 				l.a.Dev.DeviceName(), l.b.Dev.DeviceName(), sa, sb))
 		}
+		if sealed && l.cfg.Latency < lookahead {
+			panic(fmt.Sprintf("netem: re-homed link between %q and %q has latency %v below the group lookahead %v",
+				l.a.Dev.DeviceName(), l.b.Dev.DeviceName(), l.cfg.Latency, lookahead))
+		}
 		l.xAB = &shardBoundary{g: g, from: sa, to: sb}
 		l.xBA = &shardBoundary{g: g, from: sb, to: sa}
-		if lookahead == 0 || l.cfg.Latency < lookahead {
+		if !sealed && (lookahead == 0 || l.cfg.Latency < lookahead) {
 			lookahead = l.cfg.Latency
 		}
+	}
+	n.mu.Lock()
+	links := append([]*Link(nil), n.links...)
+	n.mu.Unlock()
+	for _, l := range links {
+		bindLink(l)
 	}
 	// Hosts with no link (loopback-only) still need their shard clock.
 	n.mu.Lock()
@@ -135,5 +145,9 @@ func (n *Network) BindShards(g *vclock.ShardGroup, shardOf map[Device]int) time.
 	if lookahead > 0 {
 		g.SetLookahead(lookahead)
 	}
+	sealed = true
+	n.mu.Lock()
+	n.bindNewLink = bindLink
+	n.mu.Unlock()
 	return lookahead
 }

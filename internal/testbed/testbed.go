@@ -48,6 +48,12 @@ type Options struct {
 	// ZoneBClients is the client count behind the second gNB
 	// (default 5).
 	ZoneBClients int
+	// MobileClients adds that many mobile clients (requires TwoZones):
+	// hosts that start behind the primary gNB but can re-home to the
+	// second one and back with Testbed.RehomeClient — the handover
+	// workload. Each mobile client has a home port on the primary
+	// switch and a reserved port on gnb2.
+	MobileClients int
 	// UsePrivateRegistry pulls from a registry on the local network
 	// instead of Docker Hub / GCR (the Fig. 13 variant).
 	UsePrivateRegistry bool
@@ -81,6 +87,10 @@ type Options struct {
 	RemoveOnIdle  bool
 	// ProactiveDeploy brings services up at registration time (Fig. 1).
 	ProactiveDeploy bool
+	// MigrateOnHandover lets the controller follow mobile clients with
+	// their services: after a handover, deploy at the new zone's optimal
+	// edge when it differs (live sessions stay on their old instance).
+	MigrateOnHandover bool
 	// LocalSchedulers maps cluster name → custom Local Scheduler.
 	LocalSchedulers map[string]string
 	// KubeSchedulers registers custom Local Schedulers (by name) inside
@@ -190,7 +200,13 @@ type Testbed struct {
 	clients     []*netem.Host
 	clientLinks []*netem.Link
 	clientsB    []*netem.Host
-	cloudRouter *netem.Router
+	mobiles     []*netem.Host
+	// mobilePortA / mobilePortB are each mobile client's home port on
+	// the primary switch and reserved port on gnb2; trunkA / trunkB are
+	// the inter-gNB trunk ports (zero without TwoZones).
+	mobilePortA, mobilePortB []int
+	trunkA, trunkB           int
+	cloudRouter              *netem.Router
 	cloudPort   int
 	nextOrigin  int
 	services    []*ServiceHandle
@@ -227,11 +243,17 @@ func New(clk vclock.Clock, opts Options) (*Testbed, error) {
 	}
 
 	// Switch port plan: clients, EGS, far edge, controller, cloud, one
-	// port per extra Kubernetes node, and a trunk to the second gNB.
+	// port per extra Kubernetes node, a trunk to the second gNB, and a
+	// home port per mobile client. Mobile ports go AFTER the trunk so
+	// every pre-existing port index is unchanged by enabling mobility.
+	if opts.MobileClients > 0 && !opts.TwoZones {
+		return nil, fmt.Errorf("testbed: MobileClients requires TwoZones (the re-home target is the second gNB)")
+	}
 	ports := opts.Clients + 4 + opts.KubeNodes - 1
 	if opts.TwoZones {
 		ports++
 	}
+	ports += opts.MobileClients
 	sw := openflow.NewSwitch(n, "ovs", ports)
 	tb.Switch = sw
 
@@ -362,10 +384,14 @@ func New(clk vclock.Clock, opts Options) (*Testbed, error) {
 	var extraSwitches []*openflow.Switch
 	zoneLatency := map[string]map[string]time.Duration{}
 	if opts.TwoZones {
-		gnb2 := openflow.NewSwitch(n, "gnb2", opts.ZoneBClients+2)
+		// gnb2 ports: zone-B clients, the zone-B edge, the trunk, and one
+		// reserved re-home port per mobile client (again after the trunk,
+		// leaving the established indices alone).
+		gnb2 := openflow.NewSwitch(n, "gnb2", opts.ZoneBClients+2+opts.MobileClients)
 		tb.SwitchB = gnb2
-		trunkA := ports // last port of the main switch
+		trunkA := opts.Clients + 4 + opts.KubeNodes // first port after the fixed plan
 		trunkB := opts.ZoneBClients + 2
+		tb.trunkA, tb.trunkB = trunkA, trunkB
 		n.Connect(sw.Port(trunkA), gnb2.Port(trunkB), netem.LinkConfig{
 			Latency:   5 * time.Millisecond,
 			Bandwidth: netem.GbpsToBytes(10),
@@ -404,6 +430,21 @@ func New(clk vclock.Clock, opts Options) (*Testbed, error) {
 			"edge-k8s":    11200 * time.Microsecond,
 			"edge-far":    18 * time.Millisecond,
 			"cloud":       30 * time.Millisecond,
+		}
+
+		// Mobile clients: home on the primary gNB (ports after the
+		// trunk), with a reserved attachment port each on gnb2. gnb2
+		// reaches them through its default (trunk) route until they
+		// re-home.
+		if opts.MobileClients > 0 {
+			mobBase := netem.ParseIP("192.168.3.0")
+			tb.mobiles, _ = wireAccessClients(n, sw, "mob", opts.MobileClients, trunkA+1,
+				func(i int) netem.IP { return mobBase + netem.IP(10+i) },
+				func(ip netem.IP, port int) { sw.AddRoute(ip, port) })
+			for i := 0; i < opts.MobileClients; i++ {
+				tb.mobilePortA = append(tb.mobilePortA, trunkA+1+i)
+				tb.mobilePortB = append(tb.mobilePortB, trunkB+1+i)
+			}
 		}
 	}
 
@@ -444,6 +485,7 @@ func New(clk vclock.Clock, opts Options) (*Testbed, error) {
 		RemoveOnIdle:        opts.RemoveOnIdle,
 		DisableFlowMemory:   opts.DisableFlowMemory,
 		ProactiveDeploy:     opts.ProactiveDeploy,
+		MigrateOnHandover:   opts.MigrateOnHandover,
 		OnDeploy:            opts.OnDeploy,
 		Seed:                opts.Seed + 40,
 	})
